@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``test_*`` module regenerates one of the paper's tables/figures via
+the experiment harness, asserts the paper's qualitative claims on the
+output, and reports timing through pytest-benchmark. Scale is controlled
+by ``REPRO_BENCH_SCALE`` (default here is small so the full suite runs in
+a few minutes; raise it for larger instances).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: default stand-in scale for benchmark runs (override via env)
+DEFAULT_SCALE = 0.1
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    return float(raw) if raw else DEFAULT_SCALE
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiments are macro-benchmarks (seconds each); re-running them for
+    statistical rounds would multiply suite time for no insight.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,37 @@
+"""Figure 10 bench: multi-GPU speedup and compute/comm breakdown."""
+
+from repro.bench.harness import run_experiment
+
+
+def _x(cell: str) -> float:
+    return float(cell.rstrip("x"))
+
+
+def test_fig10_scaling(run_once, bench_scale):
+    out = run_once(run_experiment, "fig10", scale=bench_scale)
+    speedup_rows = [r for r in out.rows if "breakdown" not in r["graph"]]
+    breakdown = [r for r in out.rows if "breakdown" in r["graph"]]
+    assert speedup_rows and len(breakdown) == 4
+
+    # Claim 1 (a): sub-linear but real speedup on every graph.
+    for row in speedup_rows:
+        s2, s4, s8 = _x(row["2 GPU"]), _x(row["4 GPU"]), _x(row["8 GPU"])
+        assert 1.0 < s2 <= 2.0 + 1e-9, row["graph"]
+        assert s2 < s4 < s8, row["graph"]
+        assert s8 < 8.0, row["graph"]  # communication prevents linearity
+
+    # Claim 2 (b): computation scales down (paper: 4.4x at 8 GPUs) while
+    # communication does not shrink.
+    by_k = {r["graph"]: r for r in breakdown}
+    comp1 = by_k["OR breakdown @1 GPU"]["compute (ms)"]
+    comp8 = by_k["OR breakdown @8 GPU"]["compute (ms)"]
+    comm1 = by_k["OR breakdown @1 GPU"]["comm (ms)"]
+    comm8 = by_k["OR breakdown @8 GPU"]["comm (ms)"]
+    assert comp1 / comp8 > 3.0
+    assert comm8 >= comm1
+
+    # Claim 3 (b): the communication share grows with GPU count
+    # (paper: 43% at 8 GPUs).
+    share1 = float(by_k["OR breakdown @1 GPU"]["comm share"].rstrip("%"))
+    share8 = float(by_k["OR breakdown @8 GPU"]["comm share"].rstrip("%"))
+    assert share8 > share1

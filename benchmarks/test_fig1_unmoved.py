@@ -1,0 +1,29 @@
+"""Figure 1(b) bench: unmoved/pruned proportions per iteration."""
+
+from repro.bench.harness import run_experiment
+
+
+def test_fig1_unmoved(run_once, bench_scale):
+    out = run_once(run_experiment, "fig1", scale=bench_scale)
+    unmoved = out.series["unmoved"]
+    pruned = out.series["pruned (MG)"]
+    assert len(unmoved) == len(pruned) >= 3
+
+    # Claim 1: substantial unmoved fraction late in the run (paper: ~95%).
+    assert max(unmoved) > 0.7
+
+    # Claim 2: MG prunes a large fraction (paper: up to 69% on LJ).
+    assert max(pruned) > 0.4
+
+    # Claim 3: MG never prunes more than is actually unmoved (no FN).
+    for u, p in zip(unmoved, pruned):
+        assert p <= u + 1e-9
+
+    # Claim 4: both series trend upward as the partition stabilises.
+    half = len(unmoved) // 2
+    assert sum(unmoved[half:]) / max(len(unmoved) - half, 1) > (
+        sum(unmoved[:half]) / max(half, 1)
+    )
+    assert sum(pruned[half:]) / max(len(pruned) - half, 1) > (
+        sum(pruned[:half]) / max(half, 1)
+    )

@@ -1,0 +1,28 @@
+"""Figure 4 bench: shared-memory maintenance/access rates."""
+
+import numpy as np
+
+from repro.bench.harness import run_experiment
+
+
+def test_fig4_hashtable_rates(run_once, bench_scale):
+    out = run_once(run_experiment, "fig4", scale=bench_scale)
+    hier = np.array(out.series["hier access"])
+    unif = np.array(out.series["unif access"])
+    assert len(hier) == len(unif) >= 4
+
+    # Claim 1: hierarchical beats unified at every iteration (paper: 4.7x
+    # average access-rate advantage).
+    assert np.all(hier > unif)
+    assert hier.mean() / max(unif.mean(), 1e-9) > 2.0
+
+    # Claim 2: hierarchical's rates rise as iterations proceed (community
+    # count shrinks); compare late vs early halves.
+    half = len(hier) // 2
+    assert hier[half:].mean() >= hier[:half].mean() - 1e-9
+
+    # Claim 3: access rate >= maintenance rate for hierarchical (hot
+    # communities appear early and stay in shared memory).
+    maint = [row["hier maint%"] for row in out.rows]
+    access = [row["hier access%"] for row in out.rows]
+    assert np.mean(access) >= np.mean(maint) - 0.5

@@ -1,0 +1,34 @@
+"""Figure 6 bench: ablation of the MG and MM optimisations."""
+
+from repro.bench.harness import run_experiment
+
+
+def _x(cell: str) -> float:
+    return float(cell.rstrip("x"))
+
+
+def test_fig6_optimizations(run_once, bench_scale):
+    out = run_once(run_experiment, "fig6", scale=bench_scale)
+    rows = {r["graph"]: r for r in out.rows}
+    avg = rows["Avg."]
+
+    # Claim 1: MG pruning speeds up every graph (paper: 2.4x average).
+    for g, row in rows.items():
+        if g == "Avg.":
+            continue
+        assert _x(row["MG speedup"]) > 1.0, g
+    assert _x(avg["MG speedup"]) > 1.5
+
+    # Claim 2: memory management adds a further speedup (paper: 1.4x).
+    assert 1.1 < _x(avg["MM speedup"]) < 2.0
+
+    # Claim 3: combined speedup is the product (paper: 3.4x overall).
+    assert _x(avg["total"]) > 2.0
+
+    # Claim 4: MG helps most on graphs needing more iterations to converge
+    # (paper: best on FR) — TW converges in a couple of iterations, so its
+    # MG factor must be the smallest.
+    factors = {
+        g: _x(r["MG speedup"]) for g, r in rows.items() if g != "Avg."
+    }
+    assert min(factors, key=factors.get) == "TW"

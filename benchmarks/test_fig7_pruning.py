@@ -1,0 +1,31 @@
+"""Figure 7 bench: inactive rates of every pruning strategy."""
+
+from repro.bench.harness import run_experiment
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig7_pruning(run_once, bench_scale):
+    out = run_once(run_experiment, "fig7", scale=bench_scale)
+    rows = {r["graph"]: r for r in out.rows}
+    avg = rows["Avg."]
+
+    # Claim 1: SM prunes the least by far (paper: <4% average).
+    assert _pct(avg["SM"]) < _pct(avg["RM"])
+    assert _pct(avg["SM"]) < _pct(avg["MG"])
+    assert _pct(avg["SM"]) < 25.0
+
+    # Claim 2: MG prunes substantially (paper: up to 69% on LJ).
+    assert _pct(avg["MG"]) > 30.0
+
+    # Claim 3: MG+RM prunes at least as much as either alone — they prune
+    # from different angles (paper: complementary, up to 91.9%).
+    assert _pct(avg["MG+RM"]) >= _pct(avg["MG"]) - 1.0
+    assert _pct(avg["MG+RM"]) >= _pct(avg["RM"]) - 1.0
+
+    # Claim 4: pruning rises over the run (series from the first graph).
+    mg = out.series["MG"]
+    half = len(mg) // 2
+    assert sum(mg[half:]) / max(len(mg) - half, 1) > sum(mg[:half]) / max(half, 1)

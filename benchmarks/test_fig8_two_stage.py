@@ -1,0 +1,37 @@
+"""Figure 8 bench: two-stage pruning breakdown."""
+
+from repro.bench.harness import run_experiment
+
+
+def test_fig8_two_stage(run_once, bench_scale):
+    out = run_once(run_experiment, "fig8", scale=bench_scale)
+    by_key = {(r["graph"], r["config"]): r for r in out.rows}
+    graphs = {g for g, _ in by_key}
+
+    for g in graphs:
+        b = by_key[(g, "B")]
+        p1 = by_key[(g, "P1")]
+        p2 = by_key[(g, "P2")]
+
+        # Claim 1: in the baseline, DecideAndMove dominates (paper: 65.5%).
+        assert b["DecideAndMove%"] > b["weight update%"]
+
+        # Claim 2: after pruning DecideAndMove only (P1), weight updating
+        # becomes the bottleneck (paper: 45.7% of runtime).
+        assert p1["weight update%"] > p1["DecideAndMove%"]
+
+        # Claim 3: delta updating (P2) shifts the bottleneck back to
+        # DecideAndMove.
+        assert p2["DecideAndMove%"] > p2["weight update%"]
+
+        # Claim 4: each stage reduces total cost.
+        assert b["total (Mcyc)"] > p1["total (Mcyc)"] > p2["total (Mcyc)"]
+
+    # Claim 5: the weight-update speedup P1 -> P2 is substantial
+    # (paper: 7.3x; scale-dependent here).
+    speedups = [
+        float(n.split("= ")[1].split("x")[0])
+        for n in out.notes
+        if "weight-update speedup" in n
+    ]
+    assert speedups and min(speedups) > 1.5

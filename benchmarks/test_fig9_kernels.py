@@ -1,0 +1,28 @@
+"""Figure 9 bench: workload-aware kernels on their target degree ranges."""
+
+from repro.bench.harness import run_experiment
+
+
+def _x(cell: str) -> float:
+    return float(cell.rstrip("x"))
+
+
+def test_fig9_kernels(run_once, bench_scale):
+    out = run_once(run_experiment, "fig9", scale=bench_scale)
+    part_a = [r for r in out.rows if r["part"].startswith("a")]
+    part_b = [r for r in out.rows if r["part"].startswith("b")]
+    assert part_a and part_b
+
+    # Part (a) — paper: shuffle 1.9x faster than hash-global and 1.2x
+    # faster than hash-shared on degree<32 vertices.
+    for row in part_a:
+        assert _x(row["shuffle"]) == 1.0
+        assert _x(row["hash (shared)"]) > 1.0, row["workload"]
+        assert _x(row["hash (global)"]) > _x(row["hash (shared)"]), row["workload"]
+
+    # Part (b) — paper: hierarchical 1.5x faster than global-only and
+    # 1.2x faster than unified on degree>2000 vertices.
+    for row in part_b:
+        assert _x(row["hierarchical"]) == 1.0
+        assert _x(row["unified"]) > 1.0
+        assert _x(row["global-only"]) > _x(row["unified"])

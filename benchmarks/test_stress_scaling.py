@@ -1,0 +1,23 @@
+"""Stress bench: throughput across graph sizes (Section 5.6 analogue)."""
+
+from repro.bench.harness import run_experiment
+
+
+def test_stress_scaling(run_once, bench_scale):
+    out = run_once(run_experiment, "stress", scale=bench_scale)
+    rows = out.rows
+    assert len(rows) == 4
+    sizes = [r["n"] for r in rows]
+    assert sizes == sorted(sizes)
+
+    # Claim 1: MG gives a real measured wall-clock speedup at every size.
+    for row in rows:
+        assert float(row["speedup"].rstrip("x")) > 1.0, row["n"]
+
+    # Claim 2: throughput does not collapse with size (engine stays
+    # near-linear); allow a 3x band across an 8x size range.
+    tps = [r["Medges/s"] for r in rows]
+    assert max(tps) / max(min(tps), 1e-9) < 3.0
+
+    # Claim 3: pruning stays substantial at the largest size.
+    assert float(rows[-1]["pruned"].rstrip("%")) > 20.0

@@ -1,0 +1,36 @@
+"""Table 1 bench: FNR/FPR of the four pruning strategies."""
+
+from repro.bench.harness import run_experiment
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_table1_fnr_fpr(run_once, bench_scale):
+    out = run_once(run_experiment, "table1", scale=bench_scale)
+    rows = {r["graph"]: r for r in out.rows}
+    assert set(rows) >= {"FR", "LJ", "OR", "TW", "UK", "EW", "HW", "Avg."}
+
+    # Claim 1: SM and MG are false-negative-free on every graph.
+    for g, row in rows.items():
+        assert _pct(row["FNR SM"]) == 0.0, g
+        assert _pct(row["FNR MG"]) == 0.0, g
+
+    avg = rows["Avg."]
+    # Claim 2: SM pays a huge FPR for its strictness (paper: 91.7%).
+    assert _pct(avg["FPR SM"]) > 60.0
+
+    # Claim 3: MG's average FPR beats SM's and RM's (paper: 32.2% vs
+    # 91.7% / 39.6%).
+    assert _pct(avg["FPR MG"]) < _pct(avg["FPR SM"])
+    assert _pct(avg["FPR MG"]) < _pct(avg["FPR RM"]) + 5.0
+
+    # Claim 4: RM / PM admit false negatives somewhere.
+    assert _pct(avg["FNR RM"]) + _pct(avg["FNR PM"]) > 0.0
+
+    # Claim 5: every strategy struggles on TW (weak community structure) —
+    # its best strategy FPR is worse than the best on LJ.
+    best_tw = min(_pct(rows["TW"][f"FPR {s}"]) for s in ["SM", "RM", "PM", "MG"])
+    best_lj = min(_pct(rows["LJ"][f"FPR {s}"]) for s in ["SM", "RM", "PM", "MG"])
+    assert best_tw > best_lj

@@ -1,0 +1,24 @@
+"""Table 3 bench: modularity preservation across pruning strategies."""
+
+from repro.bench.harness import run_experiment
+
+
+def test_table3_modularity(run_once, bench_scale):
+    out = run_once(run_experiment, "table3", scale=bench_scale)
+
+    for row in out.rows:
+        # Claim 1 (the paper's central quality claim): MG and SM leave the
+        # result bit-identical to the unpruned baseline on every graph.
+        assert row["MG==base"] is True, row["graph"]
+        assert row["SM==base"] is True, row["graph"]
+
+        # Claim 2: RM's loss is small (paper: avg 0.00119, worst 0.00663
+        # on TW) — allow a proportionally loose bound at laptop scale.
+        base = float(row["Baseline/MG/SM"])
+        rm_q = float(row["RM"].split()[0])
+        assert abs(base - rm_q) < 0.05, row["graph"]
+
+    # Claim 3: UK (near-perfect structure) shows ~zero loss for RM.
+    uk = next(r for r in out.rows if r["graph"] == "UK")
+    uk_loss = abs(float(uk["Baseline/MG/SM"]) - float(uk["RM"].split()[0]))
+    assert uk_loss < 0.001

@@ -1,0 +1,20 @@
+"""Table 2 bench: stand-in suite construction and statistics."""
+
+from repro.bench.harness import run_experiment
+
+
+def test_table2_datasets(run_once, bench_scale):
+    out = run_once(run_experiment, "table2", scale=bench_scale)
+    rows = {r["graph"]: r for r in out.rows}
+    assert set(rows) == {"FR", "LJ", "OR", "TW", "UK", "EW", "HW"}
+
+    for abbr, row in rows.items():
+        assert row["standin n"] > 100, abbr
+        assert row["standin m"] > row["standin n"], abbr
+
+    # The kernel-dispatch premise: most vertices are small-degree
+    # (shuffle kernel), with a non-trivial tail for the hash kernel.
+    small_shares = [
+        float(r["deg<32"].rstrip("%")) for r in rows.values()
+    ]
+    assert min(small_shares) > 50.0

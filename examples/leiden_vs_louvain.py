@@ -1,0 +1,56 @@
+"""Louvain vs Leiden: the badly-connected-communities problem.
+
+The paper's reference [54] ("From Louvain to Leiden") showed that Louvain
+can report communities whose induced subgraph is *disconnected*. This
+example measures how often that happens on the stand-in workloads, and
+shows the Leiden-style pipeline (refinement + guaranteed-connectivity
+post-pass, built on the same MG-pruned GALA engine) fixing it at no
+quality cost.
+
+Run:  python examples/leiden_vs_louvain.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import gala, leiden
+from repro.core.leiden import community_connectivity, split_disconnected_communities
+from repro.core.modularity import modularity
+from repro.graph.generators import load_dataset
+
+
+def main(scale: float = 0.15) -> None:
+    print(f"{'graph':>6} | {'Louvain Q':>9} | {'disconn.':>8} | "
+          f"{'Leiden Q':>9} | {'disconn.':>8}")
+    print("-" * 55)
+    for abbr in ["LJ", "OR", "TW", "UK", "HW"]:
+        g = load_dataset(abbr, scale)
+        lv = gala(g)
+        ld = leiden(g)
+        lv_conn = community_connectivity(g, lv.communities)
+        ld_conn = community_connectivity(g, ld.communities)
+        print(
+            f"{abbr:>6} | {lv.modularity:>9.4f} | "
+            f"{(~lv_conn).sum():>8d} | {ld.modularity:>9.4f} | "
+            f"{(~ld_conn).sum():>8d}"
+        )
+        assert ld_conn.all(), "Leiden's connectivity guarantee"
+
+    # the cheap half of the guarantee works on any partition:
+    g = load_dataset("TW", scale)
+    lv = gala(g)
+    fixed = split_disconnected_communities(g, lv.communities)
+    print(
+        "\nsplitting Louvain's disconnected communities on TW: "
+        f"Q {lv.modularity:.4f} -> {modularity(g, fixed):.4f} "
+        f"({len(np.unique(lv.communities))} -> "
+        f"{len(np.unique(fixed))} communities) — "
+        "splitting never decreases modularity."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.15)

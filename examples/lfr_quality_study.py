@@ -1,0 +1,55 @@
+"""Quality study on LFR benchmarks: how does detection accuracy degrade as
+community structure blurs, and what do lossy pruning strategies cost?
+
+Sweeps the LFR mixing parameter mu (0 = perfectly separated communities,
+higher = blurrier), and for each graph compares GALA (lossless MG pruning)
+with the lossy RM/PM strategies against the planted ground truth — the
+experiment behind the paper's Table 4.
+
+Run:  python examples/lfr_quality_study.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GalaConfig, gala
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.metrics import normalized_mutual_information as nmi
+
+MUS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+
+
+def main(n: int = 2000) -> None:
+    print(f"LFR sweep at n={n} (NMI vs planted communities; 1.0 = perfect)")
+    header = f"{'mu':>4} | {'#comms':>6} | {'GALA/MG':>8} | {'RM':>8} | {'PM':>8} | Q"
+    print(header)
+    print("-" * len(header))
+    for mu in MUS:
+        params = LFRParams(
+            n=n, mu=mu, min_degree=8, max_degree=min(60, n // 10),
+            min_community=max(20, n // 100), max_community=max(100, n // 8),
+            seed=7,
+        )
+        graph, truth = lfr_graph(params)
+        scores = {}
+        q = 0.0
+        for strat in ["mg", "rm", "pm"]:
+            result = gala(graph, GalaConfig(pruning=strat, seed=7))
+            scores[strat] = nmi(result.communities, truth)
+            if strat == "mg":
+                q = result.modularity
+                k = result.num_communities
+        print(
+            f"{mu:>4.1f} | {k:>6} | {scores['mg']:>8.4f} | "
+            f"{scores['rm']:>8.4f} | {scores['pm']:>8.4f} | {q:.3f}"
+        )
+    print(
+        "\nreading: NMI stays near 1 while mu is below the detectability "
+        "transition, then collapses; RM/PM track MG closely but can only "
+        "lose accuracy (they skip profitable moves), never gain it."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)

@@ -1,0 +1,38 @@
+"""GALA: GPU-Accelerated Louvain Algorithm — full Python reproduction.
+
+Reproduction of *Swift Unfolding of Communities: GPU-Accelerated Louvain
+Algorithm* (PPoPP 2025). See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Quick start::
+
+    from repro import gala
+    from repro.graph.generators import load_dataset
+
+    result = gala(load_dataset("LJ", scale=0.1))
+    print(result.modularity, result.num_communities)
+"""
+
+from repro.core.gala import gala, GalaConfig
+from repro.core.leiden import leiden, LeidenResult
+from repro.core.louvain import louvain, LouvainResult
+from repro.core.phase1 import run_phase1, Phase1Config, Phase1Result
+from repro.core.modularity import modularity
+from repro.graph.csr import CSRGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "gala",
+    "GalaConfig",
+    "louvain",
+    "LouvainResult",
+    "run_phase1",
+    "Phase1Config",
+    "Phase1Result",
+    "leiden",
+    "LeidenResult",
+    "modularity",
+    "CSRGraph",
+    "__version__",
+]

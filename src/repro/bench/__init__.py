@@ -1,0 +1,28 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each module in :mod:`repro.bench.experiments` reproduces one table/figure;
+:func:`repro.bench.harness.run_experiment` runs one by id and prints the
+paper-formatted rows; ``python -m repro.bench`` runs them all. The pytest
+benchmarks under ``benchmarks/`` call the same entry points and assert the
+paper's qualitative claims hold.
+"""
+
+from repro.bench.harness import (
+    EXPERIMENTS,
+    ExperimentOutput,
+    list_experiments,
+    run_experiment,
+)
+from repro.bench.reporting import format_table
+from repro.bench.workloads import bench_scale, load_suite, lfr_suite
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "list_experiments",
+    "run_experiment",
+    "format_table",
+    "bench_scale",
+    "load_suite",
+    "lfr_suite",
+]

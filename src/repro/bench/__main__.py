@@ -1,0 +1,72 @@
+"""CLI: ``python -m repro.bench [experiment-id ...] [--scale S]``.
+
+With no arguments, runs every registered experiment at the default bench
+scale and prints the paper-formatted tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.harness import EXPERIMENTS, list_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids (default: all). Available: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="graph-size multiplier (default: REPRO_BENCH_SCALE or 0.25)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="additionally dump all experiment outputs as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for eid, title in list_experiments():
+            print(f"{eid:8s} {title}")
+        return 0
+
+    targets = args.experiments or EXPERIMENTS
+    collected = []
+    for eid in targets:
+        start = time.perf_counter()
+        output = run_experiment(eid, scale=args.scale)
+        print(output.render())
+        print(f"({eid} completed in {time.perf_counter() - start:.1f}s)\n")
+        collected.append(output)
+    if args.json:
+        payload = [
+            {
+                "experiment": o.experiment,
+                "title": o.title,
+                "rows": o.rows,
+                "series": o.series,
+                "notes": o.notes,
+            }
+            for o in collected
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        print(f"wrote JSON results to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Figure 1(b): proportion of pruned (inactive) and unmoved vertices per
+iteration on the LiveJournal stand-in.
+
+Paper claims reproduced here: the unmoved fraction climbs towards ~95% as
+the partition stabilises, the MG-pruned (inactive) fraction climbs with it
+(paper: up to 69% pruned), and pruned stays below unmoved (MG has no false
+negatives, so it can only prune a subset of the truly unmoved set).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentOutput
+from repro.bench.workloads import bench_scale
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.graph.generators import load_dataset
+from repro.metrics.fnr_fpr import inactive_rate_series, unmoved_rate_series
+
+
+def run(scale: float | None = None) -> ExperimentOutput:
+    scale = scale if scale is not None else bench_scale()
+    graph = load_dataset("LJ", scale)
+    result = run_phase1(graph, Phase1Config(pruning="mg"))
+    inactive = inactive_rate_series(result)
+    unmoved = unmoved_rate_series(result)
+    rows = [
+        {
+            "iteration": h.iteration,
+            "unmoved%": round(100 * u, 1),
+            "pruned%": round(100 * i, 1),
+        }
+        for h, u, i in zip(result.history, unmoved, inactive)
+    ]
+    return ExperimentOutput(
+        experiment="fig1",
+        title="Pruned (inactive) and unmoved vertices per iteration, LJ",
+        rows=rows,
+        series={"unmoved": list(unmoved), "pruned (MG)": list(inactive)},
+        notes=[
+            f"peak unmoved {100 * max(unmoved):.1f}% (paper: up to 95%), "
+            f"peak pruned {100 * max(inactive):.1f}% (paper: up to 69%)",
+            "pruned <= unmoved at every iteration (MG is false-negative-free)",
+        ],
+    )

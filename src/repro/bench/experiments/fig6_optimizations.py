@@ -1,0 +1,99 @@
+"""Figure 6: ablation of GALA's two optimisations.
+
+Three configurations per graph, on the shared cost estimator:
+
+* **baseline** — no pruning, naive weight recomputation, global-memory
+  hashtable data path;
+* **+MG** — modularity gain-based pruning and delta weight updates, same
+  global-memory data path;
+* **+MG+MM** — pruning plus the workload-aware kernels (shuffle +
+  hierarchical hashtable data path).
+
+Paper claims: MG alone gives ~2.4x (larger on graphs needing more
+iterations), MM adds ~1.4x, ~3.4x combined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.designs import SystemDesign, estimate_cycles
+from repro.bench.harness import ExperimentOutput
+from repro.bench.workloads import ALL_GRAPHS, bench_scale
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.graph.generators import load_dataset
+
+# The Figure 6 baseline is *GALA's own fused kernel* with the hashtable
+# placed in global memory — not a comparator's unfused pipeline — so its
+# data path is only moderately worse than the workload-aware one: the
+# coalesced row loads and scattered C[u] gathers (~425 cycles/edge) are
+# common to both; the global-table probe+atomic (~330/edge effective after
+# caching) vs the register/shared path (~95/edge) is what MM removes.
+_BASELINE = SystemDesign(
+    name="baseline", pruning="none", weight_update="recompute",
+    decide_cycles_per_edge=755.0, decide_cycles_per_vertex=40.0,
+    update_cycles_per_edge=600.0,
+)
+_MG = SystemDesign(
+    name="+MG", pruning="mg", weight_update="delta",
+    decide_cycles_per_edge=755.0, decide_cycles_per_vertex=40.0,
+    update_cycles_per_edge=600.0,
+)
+_MG_MM = SystemDesign(
+    name="+MG+MM", pruning="mg", weight_update="delta",
+    decide_cycles_per_edge=520.0, decide_cycles_per_vertex=30.0,
+    update_cycles_per_edge=450.0,
+)
+
+
+def run(scale: float | None = None, graphs: list[str] | None = None) -> ExperimentOutput:
+    scale = scale if scale is not None else bench_scale()
+    graphs = graphs or ALL_GRAPHS
+    rows = []
+    mg_speedups, mm_speedups = [], []
+    for abbr in graphs:
+        g = load_dataset(abbr, scale)
+        cycles = {}
+        qs = {}
+        for design in (_BASELINE, _MG, _MG_MM):
+            result = run_phase1(
+                g,
+                Phase1Config(
+                    pruning=design.pruning, weight_update=design.weight_update
+                ),
+            )
+            cycles[design.name] = estimate_cycles(design, result, g)
+            qs[design.name] = result.modularity
+        mg_x = cycles["baseline"] / cycles["+MG"]
+        mm_x = cycles["+MG"] / cycles["+MG+MM"]
+        mg_speedups.append(mg_x)
+        mm_speedups.append(mm_x)
+        assert abs(qs["baseline"] - qs["+MG"]) < 1e-12, "MG must be lossless"
+        rows.append(
+            {
+                "graph": abbr,
+                "baseline (Mcyc)": round(cycles["baseline"] / 1e6, 1),
+                "+MG (Mcyc)": round(cycles["+MG"] / 1e6, 1),
+                "+MG+MM (Mcyc)": round(cycles["+MG+MM"] / 1e6, 1),
+                "MG speedup": f"{mg_x:.2f}x",
+                "MM speedup": f"{mm_x:.2f}x",
+                "total": f"{cycles['baseline'] / cycles['+MG+MM']:.2f}x",
+            }
+        )
+    rows.append(
+        {
+            "graph": "Avg.",
+            "MG speedup": f"{np.mean(mg_speedups):.2f}x",
+            "MM speedup": f"{np.mean(mm_speedups):.2f}x",
+            "total": f"{np.mean(mg_speedups) * np.mean(mm_speedups):.2f}x",
+        }
+    )
+    return ExperimentOutput(
+        experiment="fig6",
+        title="Impact of MG pruning and memory-management optimisations",
+        rows=rows,
+        notes=[
+            "paper: MG 2.4x avg (3.7x on FR), MM 1.4x, 3.4x combined",
+            "baseline and +MG modularity identical (asserted): MG is lossless",
+        ],
+    )

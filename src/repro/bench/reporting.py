@@ -1,0 +1,79 @@
+"""Plain-text table and series formatting for experiment output.
+
+The paper's artifact prints "the final results ... in tabular form on the
+terminal"; these helpers do the same, dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict], title: str | None = None, columns: Sequence[str] | None = None
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Column order follows the first row's key order unless ``columns`` is
+    given; missing cells render empty.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    table = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in table)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in table:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, values: Iterable[float], width: int = 50, as_percent: bool = False
+) -> str:
+    """One-line text sparkline for an iteration series."""
+    values = list(values)
+    if not values:
+        return f"{name}: (empty)"
+    blocks = " ▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    spark = "".join(
+        blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values[:width]
+    )
+    if as_percent:
+        return f"{name:16s} [{spark}] last={100 * values[-1]:.1f}% peak={100 * hi:.1f}%"
+    return f"{name:16s} [{spark}] last={values[-1]:.4g} peak={hi:.4g}"
+
+
+def format_speedups(base_key: str, rows: Sequence[dict], time_key: str) -> list[dict]:
+    """Augment rows with a 'speedup vs <base>' column.
+
+    ``rows`` must contain one row whose ``system`` equals ``base_key``.
+    """
+    base = next(r for r in rows if r.get("system") == base_key)
+    out = []
+    for r in rows:
+        r = dict(r)
+        r["slowdown_vs_" + base_key] = (
+            r[time_key] / base[time_key] if base[time_key] else float("inf")
+        )
+        out.append(r)
+    return out

@@ -1,0 +1,70 @@
+"""Workload definitions shared by all experiments.
+
+``REPRO_BENCH_SCALE`` (default 0.25) scales every stand-in graph, so the
+full experiment suite finishes in minutes on a laptop; set it to 1.0 for
+the largest instances the generators are tuned for.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import load_dataset
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+
+#: the paper's Figure 7 restricts itself to four representative graphs
+FIG7_GRAPHS = ["LJ", "OR", "UK", "HW"]
+ALL_GRAPHS = ["FR", "LJ", "OR", "TW", "UK", "EW", "HW"]
+
+
+def bench_scale(default: float = 0.25) -> float:
+    """Graph-size multiplier for benchmark runs (env REPRO_BENCH_SCALE)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    try:
+        return float(raw) if raw else default
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be a float, got {raw!r}"
+        ) from None
+
+
+def load_suite(
+    abbrs: list[str] | None = None, scale: float | None = None
+) -> list[CSRGraph]:
+    """Load the stand-in suite at the benchmark scale."""
+    abbrs = abbrs or ALL_GRAPHS
+    scale = scale if scale is not None else bench_scale()
+    return [load_dataset(a, scale) for a in abbrs]
+
+
+# The paper's Table 4 LFR graphs: 100k vertices with three community-
+# strength regimes (measured baselines Q = 0.350 / 0.924 / 0.434). The
+# mixing parameters below are chosen to hit those regimes; ``scale``
+# shrinks n while preserving the regime.
+_TAB4_SPECS = [
+    ("Graph1", dict(mu=0.46, min_degree=8, max_degree=40, seed=301)),
+    ("Graph2", dict(mu=0.06, min_degree=20, max_degree=80, seed=302)),
+    ("Graph3", dict(mu=0.635, min_degree=20, max_degree=80, seed=301)),
+]
+
+
+def lfr_suite(scale: float | None = None, n_base: int = 20000):
+    """The three LFR ground-truth graphs of Table 4.
+
+    Returns ``[(name, graph, ground_truth), ...]``.
+    """
+    scale = scale if scale is not None else bench_scale()
+    n = max(int(n_base * scale), 500)
+    out = []
+    for name, kw in _TAB4_SPECS:
+        params = LFRParams(
+            n=n,
+            min_community=max(20, n // 100),
+            max_community=max(60, n // 10),
+            **kw,
+        )
+        g, truth = lfr_graph(params)
+        g.name = name
+        out.append((name, g, truth))
+    return out

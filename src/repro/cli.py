@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``detect``    Detect communities in an edge-list file with GALA.
+``stats``     Print structural statistics of a graph file.
+``generate``  Generate a synthetic benchmark graph to an edge-list file.
+``bench``     Shortcut for the experiment harness (``python -m repro.bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import GalaConfig, gala, leiden
+from repro.graph.generators import lfr_graph, LFRParams, rmat_graph
+from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.stats import compute_stats
+from repro.metrics import coverage, mean_conductance
+
+
+def _add_detect(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("detect", help="detect communities with GALA")
+    p.add_argument("graph", help="edge-list file (whitespace separated)")
+    p.add_argument("--weighted", action="store_true",
+                   help="read a third column as edge weight")
+    p.add_argument("--pruning", default="mg",
+                   choices=["none", "sm", "rm", "pm", "mg", "mg+rm"],
+                   help="pruning strategy (default: mg, GALA's)")
+    p.add_argument("--algorithm", default="gala",
+                   choices=["gala", "leiden"],
+                   help="gala (paper pipeline) or leiden (adds refinement "
+                        "+ guaranteed-connected communities)")
+    p.add_argument("--ground-truth", default=None,
+                   help="'vertex community' file to score against (NMI/ARI)")
+    p.add_argument("--resolution", type=float, default=1.0,
+                   help="modularity resolution gamma (default 1.0)")
+    p.add_argument("--theta", type=float, default=1e-6,
+                   help="phase-1 convergence threshold")
+    p.add_argument("--phase1-only", action="store_true",
+                   help="run only phase 1 of the first round")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default=None,
+                   help="write 'vertex community' lines here")
+
+
+def _add_stats(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("stats", help="print graph statistics")
+    p.add_argument("graph", help="edge-list file")
+    p.add_argument("--weighted", action="store_true")
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="generate a synthetic graph")
+    p.add_argument("kind", choices=["lfr", "rmat"])
+    p.add_argument("-o", "--output", required=True, help="edge-list output path")
+    p.add_argument("--n", type=int, default=10_000, help="vertices (lfr)")
+    p.add_argument("--mu", type=float, default=0.3, help="LFR mixing parameter")
+    p.add_argument("--scale", type=int, default=14, help="log2 vertices (rmat)")
+    p.add_argument("--edge-factor", type=float, default=16.0, help="rmat edges/vertex")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ground-truth", default=None,
+                   help="write LFR planted communities here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GALA: GPU-Accelerated Louvain Algorithm (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_detect(sub)
+    _add_stats(sub)
+    _add_generate(sub)
+    sub.add_parser("bench", help="run the experiment harness",
+                   add_help=False)
+    return parser
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph, weighted=args.weighted)
+    print(f"loaded {graph.name}: n={graph.n} m={graph.num_edges}")
+    start = time.perf_counter()
+    if args.algorithm == "leiden":
+        result = leiden(
+            graph, resolution=args.resolution, theta=args.theta,
+            seed=args.seed,
+        )
+    else:
+        cfg = GalaConfig(
+            pruning=args.pruning,
+            resolution=args.resolution,
+            theta=args.theta,
+            seed=args.seed,
+            phase1_only=args.phase1_only,
+        )
+        result = gala(graph, cfg)
+    elapsed = time.perf_counter() - start
+    comm = result.communities
+    k = len(np.unique(comm))
+    print(f"detected {k} communities in {elapsed:.2f}s")
+    print(f"modularity:  {result.modularity:.5f} (gamma={args.resolution})")
+    print(f"coverage:    {coverage(graph, comm):.4f}")
+    print(f"conductance: {mean_conductance(graph, comm):.4f}")
+    if args.ground_truth:
+        from repro.metrics import (
+            adjusted_rand_index,
+            normalized_mutual_information,
+        )
+
+        truth = np.loadtxt(args.ground_truth, dtype=np.int64)
+        labels = truth[:, 1] if truth.ndim == 2 else truth
+        if len(labels) != graph.n:
+            raise SystemExit(
+                f"ground truth labels {len(labels)} != graph vertices {graph.n}"
+            )
+        print(f"NMI vs truth: {normalized_mutual_information(comm, labels):.4f}")
+        print(f"ARI vs truth: {adjusted_rand_index(comm, labels):.4f}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            for v, c in enumerate(comm):
+                fh.write(f"{v} {c}\n")
+        print(f"wrote assignment to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph, weighted=args.weighted)
+    s = compute_stats(graph)
+    for key, value in s.as_row().items():
+        print(f"{key:20s} {value}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "lfr":
+        params = LFRParams(n=args.n, mu=args.mu, seed=args.seed)
+        graph, truth = lfr_graph(params)
+        if args.ground_truth:
+            with open(args.ground_truth, "w") as fh:
+                for v, c in enumerate(truth):
+                    fh.write(f"{v} {c}\n")
+            print(f"wrote ground truth to {args.ground_truth}")
+    else:
+        graph = rmat_graph(args.scale, edge_factor=args.edge_factor,
+                           seed=args.seed)
+    save_edge_list(graph, args.output)
+    print(f"wrote {graph.name} (n={graph.n}, m={graph.num_edges}) "
+          f"to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        # delegate everything after 'bench' to the harness CLI
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    return {"detect": cmd_detect, "stats": cmd_stats, "generate": cmd_generate}[
+        args.command
+    ](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""DecideAndMove kernel backends.
+
+* :mod:`vectorized` — pure NumPy segmented-reduction backend; the default
+  and the reference for correctness. Used for all algorithm-level results
+  and wall-clock benchmarks.
+* :mod:`shuffle` — warp-level shuffle-based kernel (paper Algorithm 2) on
+  the simulated GPU; charges register/warp-primitive costs.
+* :mod:`hash` — block-level hash-based kernel (paper Algorithm 3) on the
+  simulated GPU; charges shared/global hashtable probe costs.
+* :mod:`dispatch` — GALA's workload-aware dispatcher: degree < 32 vertices
+  to the shuffle kernel, larger to the hash kernel.
+
+Every backend implements the same contract: given a
+:class:`~repro.core.state.CommunityState` and an active vertex set, return
+a :class:`~repro.core.kernels.vectorized.DecideResult` with identical
+community decisions (tested across backends).
+"""
+
+from repro.core.kernels.vectorized import DecideResult, decide_moves
+
+__all__ = ["DecideResult", "decide_moves"]

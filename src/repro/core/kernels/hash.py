@@ -1,0 +1,216 @@
+"""Block-level hash-based DecideAndMove kernel (paper Algorithm 3).
+
+One thread block handles one large-degree vertex. Threads stream the
+adjacency row in block-sized strides; each thread find-or-inserts its
+neighbour's community into the per-block hashtable (atomicCAS to claim a
+bucket, atomicAdd to accumulate ``d_C(v)``), loading ``D_V(C)`` on first
+insert. A final reduction over the table entries elects the best community.
+
+The hashtable design is pluggable (``global`` / ``unified`` /
+``hierarchical`` — Section 4.2); the cost difference between them is the
+whole point of Figure 9(b), and the shared-memory maintenance/access rates
+they report drive Figure 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.vectorized import DecideResult, _apply_guards
+from repro.core.state import CommunityState
+from repro.gpusim.costmodel import MemoryKind, shared_bank_conflict_factor
+from repro.gpusim.device import Device
+from repro.gpusim.hashtable import make_table
+from repro.gpusim.hashtable.base import SimHashTable
+
+
+def _next_pow2(x: int) -> int:
+    return 1 << max(int(x) - 1, 0).bit_length()
+
+
+class HashKernel:
+    """Callable kernel backend using a per-block simulated hashtable."""
+
+    name = "hash"
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        table_kind: str = "hierarchical",
+        shared_buckets: int = 1024,
+        block_size: int = 128,
+        load_factor: float = 0.5,
+        fixed_global_buckets: int | None = None,
+    ):
+        """``fixed_global_buckets`` preallocates the global region at a
+        fixed size (e.g. sized for the graph's maximum degree, as a real
+        implementation must when blocks are assigned to vertices
+        dynamically) instead of per-vertex sizing. This is what makes the
+        unified design's shared fraction ``s/(s+g)`` small on skewed
+        graphs — the effect Figure 4 measures."""
+        self.device = device or Device()
+        self.device.config.validate_block(block_size)
+        self.table_kind = table_kind
+        self.shared_buckets = min(
+            shared_buckets, self.device.config.max_shared_buckets()
+        )
+        self.block_size = block_size
+        self.load_factor = load_factor
+        self.fixed_global_buckets = fixed_global_buckets
+        #: per-iteration Figure 4 statistics appended by flush_rates()
+        self.rate_log: list[dict] = []
+        self._iter_maintained = [0, 0]  # [shared, total]
+        self._iter_accessed = [0, 0]
+
+    # ------------------------------------------------------------------ #
+    def _make_table(self, degree: int) -> SimHashTable:
+        if self.fixed_global_buckets is not None:
+            global_buckets = max(
+                self.fixed_global_buckets,
+                _next_pow2(max(int(degree / self.load_factor), 4)),
+            )
+        else:
+            global_buckets = _next_pow2(max(int(degree / self.load_factor), 4))
+        return make_table(
+            self.table_kind, self.device, self.shared_buckets, global_buckets
+        )
+
+    def decide_vertex(
+        self, state: CommunityState, v: int, remove_self: bool
+    ) -> tuple[int, float, float]:
+        """One vertex on one block; returns (best_comm, best_gain, stay_gain)."""
+        g = state.graph
+        cost = self.device.config.cost
+        prof = self.device.profiler
+        lo, hi = g.indptr[v], g.indptr[v + 1]
+        deg = hi - lo
+        cur = int(state.comm[v])
+        strength_v = float(g.strength[v])
+        m = g.total_weight
+        two_m = g.two_m
+        gamma = state.resolution
+        cur_total = float(state.comm_strength[cur])
+        if remove_self:
+            cur_total -= strength_v
+        stay_gain = (0.0 - gamma * cur_total * strength_v / two_m) / m
+        if deg == 0 or m == 0.0:
+            return cur, -np.inf, stay_gain
+
+        table = self._make_table(deg)
+        nbrs = g.indices[lo:hi]
+        ws = g.weights[lo:hi]
+        comms = state.comm[nbrs]
+
+        # Strided streaming (Algorithm 3 line 4): each chunk is one
+        # simultaneous block step.
+        for start in range(0, deg, self.block_size):
+            chunk = slice(start, min(start + self.block_size, deg))
+            n_chunk = chunk.stop - chunk.start
+            # coalesced row loads (indices + weights), scattered C[u] loads
+            prof.charge(
+                "decide_load",
+                cost.access(MemoryKind.GLOBAL, n_chunk, coalesced=True) * 2,
+            )
+            prof.charge("decide_load", cost.access(MemoryKind.GLOBAL, n_chunk))
+            # Bank conflicts: the chunk's lanes hit their shared-memory
+            # buckets simultaneously; distinct addresses in one bank
+            # serialise (same-address lanes broadcast). Charged once per
+            # warp-step of the chunk.
+            if table.s > 0:
+                from repro.gpusim.hashtable.base import hash0
+
+                warp_size = self.device.config.warp_size
+                shared_addr = np.array(
+                    [hash0(int(c), table.s) for c in comms[chunk]],
+                    dtype=np.int64,
+                )
+                for w_start in range(0, n_chunk, warp_size):
+                    factor = shared_bank_conflict_factor(
+                        shared_addr[w_start:w_start + warp_size]
+                    )
+                    if factor > 1:
+                        prof.charge(
+                            "bank_conflicts",
+                            cost.access(MemoryKind.SHARED, factor - 1),
+                        )
+                        prof.count("bank_conflict_steps")
+            before = table.num_entries
+            for c, wgt in zip(comms[chunk], ws[chunk]):
+                table.accumulate(int(c), float(wgt))
+            # D_V(C) loaded once per fresh insert (line 9)
+            fresh = table.num_entries - before
+            if fresh:
+                prof.charge("decide_load", cost.access(MemoryKind.GLOBAL, fresh))
+
+        # Gain evaluation over the table entries (lines 11-14): one value
+        # read per entry from wherever it resides.
+        keys, sums = table.items()
+        prof.charge(
+            "decide_alu", cost.alu(len(keys) * 4)
+        )
+        prof.charge(
+            "hashtable",
+            cost.access(MemoryKind.SHARED, table.maintained_shared)
+            + cost.access(MemoryKind.GLOBAL, table.maintained_global),
+        )
+        totals = state.comm_strength[keys]
+        is_own = keys == cur
+        eff_totals = np.where(is_own & remove_self, totals - strength_v, totals)
+        gains = (sums - gamma * eff_totals * strength_v / two_m) / m
+
+        own = np.flatnonzero(is_own)
+        if len(own):
+            stay_gain = float(gains[own[0]])
+        cand = np.where(is_own, -np.inf, gains)
+        best = float(cand.max())
+        if not np.isfinite(best):
+            self._log_table(table)
+            return cur, -np.inf, stay_gain
+        best_comm = int(keys[cand == best].min())
+        self._log_table(table)
+        return best_comm, best, stay_gain
+
+    # ------------------------------------------------------------------ #
+    def _log_table(self, table: SimHashTable) -> None:
+        self._iter_maintained[0] += table.maintained_shared
+        self._iter_maintained[1] += table.num_entries
+        self._iter_accessed[0] += table.accesses_shared
+        self._iter_accessed[1] += table.accesses_shared + table.accesses_global
+
+    def flush_rates(self) -> dict:
+        """Pop the maintenance/access rates accumulated since last flush
+        (one call per iteration gives the Figure 4 series)."""
+        ms, mt = self._iter_maintained
+        as_, at = self._iter_accessed
+        entry = {
+            "maintenance_rate": ms / mt if mt else 0.0,
+            "access_rate": as_ / at if at else 0.0,
+        }
+        self.rate_log.append(entry)
+        self._iter_maintained = [0, 0]
+        self._iter_accessed = [0, 0]
+        return entry
+
+    # ------------------------------------------------------------------ #
+    def __call__(
+        self, state: CommunityState, active_idx: np.ndarray, remove_self: bool = True
+    ) -> DecideResult:
+        active_idx = np.asarray(active_idx, dtype=np.int64)
+        n_act = len(active_idx)
+        best_comm = np.empty(n_act, dtype=np.int64)
+        best_gain = np.empty(n_act, dtype=np.float64)
+        stay_gain = np.empty(n_act, dtype=np.float64)
+        for i, v in enumerate(active_idx):
+            bc, bg, sg = self.decide_vertex(state, int(v), remove_self)
+            best_comm[i], best_gain[i], stay_gain[i] = bc, bg, sg
+        self.device.profiler.count("hash_vertices", n_act)
+        valid = np.isfinite(best_gain)
+        best_comm = np.where(valid, best_comm, state.comm[active_idx])
+        move = _apply_guards(state, active_idx, best_comm, best_gain, stay_gain, valid)
+        return DecideResult(
+            active_idx=active_idx,
+            best_comm=best_comm,
+            best_gain=best_gain,
+            stay_gain=stay_gain,
+            move=move,
+        )

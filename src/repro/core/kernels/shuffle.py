@@ -1,0 +1,145 @@
+"""Warp-level shuffle-based DecideAndMove kernel (paper Algorithm 2).
+
+One warp handles one small-degree vertex: lane ``i`` loads neighbour
+``u_i``'s community and edge weight into registers, ``__match_any_sync``
+groups lanes by community, ``__reduce_add_sync`` produces ``d_C(v)`` per
+group, each lane evaluates its community's modularity gain, and a final
+``__reduce_max_sync`` elects the winner. All intermediate state lives in
+registers — the fastest memory — which is the kernel's entire advantage
+(Figure 9(a): 1.9x over a global-memory hashtable, 1.2x over shared).
+
+Execution is functional: decisions are bit-identical to the vectorised
+backend (tested); the cost model is charged for every simulated load
+(adjacency rows coalesced, community/aggregate lookups scattered) and warp
+primitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.vectorized import DecideResult, _apply_guards
+from repro.core.state import CommunityState
+from repro.errors import DeviceError
+from repro.gpusim.costmodel import MemoryKind
+from repro.gpusim.device import Device
+from repro.gpusim.warp import WarpContext
+
+
+class ShuffleKernel:
+    """Callable kernel backend: ``kernel(state, active_idx, remove_self)``."""
+
+    name = "shuffle"
+
+    def __init__(self, device: Device | None = None):
+        self.device = device or Device()
+
+    # ------------------------------------------------------------------ #
+    def decide_vertex(
+        self, state: CommunityState, v: int, remove_self: bool
+    ) -> tuple[int, float, float]:
+        """One vertex on one warp; returns (best_comm, best_gain, stay_gain)."""
+        g = state.graph
+        cost = self.device.config.cost
+        prof = self.device.profiler
+        w = self.device.config.warp_size
+
+        lo, hi = g.indptr[v], g.indptr[v + 1]
+        deg = hi - lo
+        if deg > w:
+            raise DeviceError(
+                f"shuffle kernel handles degree <= {w}, vertex {v} has {deg}"
+            )
+        cur = int(state.comm[v])
+        strength_v = float(g.strength[v])
+        m = g.total_weight
+        two_m = g.two_m
+        gamma = state.resolution
+        cur_total = float(state.comm_strength[cur])
+        if remove_self:
+            cur_total -= strength_v
+        stay_gain = (0.0 - gamma * cur_total * strength_v / two_m) / m
+
+        if deg == 0 or m == 0.0:
+            return cur, -np.inf, stay_gain
+
+        active = np.zeros(w, dtype=bool)
+        active[:deg] = True
+        warp = WarpContext(self.device, active=active)
+
+        # Lane registers: neighbour id, community, weight (lines 2-4).
+        my_u = np.zeros(w, dtype=np.int64)
+        my_c = np.full(w, -1, dtype=np.int64)
+        my_w = np.zeros(w, dtype=np.float64)
+        my_u[:deg] = g.indices[lo:hi]
+        my_w[:deg] = g.weights[lo:hi]
+        # Adjacency row: consecutive addresses -> coalesced transactions.
+        prof.charge("decide_load", cost.access(MemoryKind.GLOBAL, deg, coalesced=True) * 2)
+        # Community lookups are scattered gathers.
+        my_c[:deg] = state.comm[my_u[:deg]]
+        prof.charge("decide_load", cost.access(MemoryKind.GLOBAL, deg))
+
+        # Lines 5-6: group lanes by community and sum weights per group.
+        mask = warp.match_any_sync(my_c)
+        d_c = warp.reduce_add_sync(mask, my_w)
+
+        # Line 7: per-lane gain. D_V(C) lookups are scattered global loads,
+        # one per *distinct* community (the leader lane broadcasts it).
+        totals = np.zeros(w, dtype=np.float64)
+        totals[:deg] = state.comm_strength[my_c[:deg]]
+        leader = np.zeros(w, dtype=bool)
+        seen: set[int] = set()
+        for lane in range(deg):
+            if int(my_c[lane]) not in seen:
+                seen.add(int(my_c[lane]))
+                leader[lane] = True
+        prof.charge("decide_load", cost.access(MemoryKind.GLOBAL, int(leader.sum())))
+        prof.charge("decide_alu", cost.alu(deg * 4))
+
+        is_own = my_c == cur
+        eff_totals = np.where(
+            is_own & remove_self, totals - strength_v, totals
+        )
+        gains = (d_c - gamma * eff_totals * strength_v / two_m) / m
+
+        # Stay gain from own-community lanes (if any neighbour is inside).
+        own_lanes = np.flatnonzero(is_own[:deg])
+        if len(own_lanes):
+            stay_gain = float(gains[own_lanes[0]])
+
+        # Line 8: warp max over *candidate* lanes.
+        cand = np.where(is_own, -np.inf, gains)
+        cand[deg:] = -np.inf
+        best_gain = warp.reduce_max_sync(cand)
+        if not np.isfinite(best_gain):
+            return cur, -np.inf, stay_gain
+        # Ties: smallest community id among maximal lanes (one more
+        # reduction in hardware; ballot + min here).
+        winners = np.flatnonzero(cand[:deg] == best_gain)
+        warp.ballot_sync(cand == best_gain)
+        best_comm = int(my_c[winners].min())
+        return best_comm, float(best_gain), stay_gain
+
+    # ------------------------------------------------------------------ #
+    def __call__(
+        self, state: CommunityState, active_idx: np.ndarray, remove_self: bool = True
+    ) -> DecideResult:
+        active_idx = np.asarray(active_idx, dtype=np.int64)
+        n_act = len(active_idx)
+        best_comm = np.empty(n_act, dtype=np.int64)
+        best_gain = np.empty(n_act, dtype=np.float64)
+        stay_gain = np.empty(n_act, dtype=np.float64)
+        for i, v in enumerate(active_idx):
+            bc, bg, sg = self.decide_vertex(state, int(v), remove_self)
+            best_comm[i], best_gain[i], stay_gain[i] = bc, bg, sg
+        self.device.profiler.count("shuffle_vertices", n_act)
+        valid = np.isfinite(best_gain)
+        best_comm = np.where(valid, best_comm, state.comm[active_idx])
+        move = _apply_guards(state, active_idx, best_comm, best_gain, stay_gain, valid)
+        return DecideResult(
+            active_idx=active_idx,
+            best_comm=best_comm,
+            best_gain=best_gain,
+            stay_gain=stay_gain,
+            move=move,
+        )

@@ -1,0 +1,199 @@
+"""Vectorised (NumPy) DecideAndMove — the reference kernel backend.
+
+Implements lines 14-16 of the paper's Algorithm 1 for a whole active set at
+once using segmented reductions:
+
+1. gather all adjacency entries of the active vertices;
+2. aggregate edge weights per ``(vertex, neighbour-community)`` pair via a
+   lexsort + ``reduceat`` (this is ``d_C(v)`` for every neighbouring ``C``);
+3. evaluate the modularity gain of every candidate pair (Eq. 2);
+4. per-vertex segmented argmax picks the best target community, with ties
+   broken toward the smaller community id (Grappolo's determinism rule);
+5. apply the movement guards (strictly-positive improvement over staying,
+   and the singleton-swap guard that prevents BSP oscillation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.state import CommunityState
+from repro.utils.arrays import repeat_by_counts, segment_argmax
+
+
+@dataclass
+class DecideResult:
+    """Outcome of DecideAndMove over an active set.
+
+    All arrays align with ``active_idx`` (the sorted active vertex ids).
+    """
+
+    active_idx: np.ndarray
+    best_comm: np.ndarray  # best target community per active vertex
+    best_gain: np.ndarray  # gain of moving there (-inf if no candidate)
+    stay_gain: np.ndarray  # gain of remaining in the current community
+    move: np.ndarray  # final movement decision (guards applied)
+
+    def next_comm(self, comm: np.ndarray) -> np.ndarray:
+        """Materialise the next-iteration assignment (BSP delayed update)."""
+        nxt = comm.copy()
+        movers = self.active_idx[self.move]
+        nxt[movers] = self.best_comm[self.move]
+        return nxt
+
+    @property
+    def num_moved(self) -> int:
+        return int(self.move.sum())
+
+
+def _apply_guards(
+    state: CommunityState,
+    active_idx: np.ndarray,
+    best_comm: np.ndarray,
+    best_gain: np.ndarray,
+    stay_gain: np.ndarray,
+    valid: np.ndarray,
+) -> np.ndarray:
+    """Movement guards shared by every kernel backend.
+
+    * move only on a strictly better gain than staying (equal-gain vertices
+      stay put, which both matches Lemma 5's "no more gain" condition and
+      prevents equal-gain oscillation);
+    * Grappolo's singleton-swap guard: two singleton communities may only
+      merge in the direction of the smaller community id, else the BSP
+      update would swap them forever.
+    """
+    cur = state.comm[active_idx]
+    move = valid & (best_gain > stay_gain)
+    both_singleton = (state.comm_size[cur] == 1) & (
+        state.comm_size[np.where(valid, best_comm, 0)] == 1
+    )
+    move &= ~(both_singleton & (best_comm > cur))
+    return move
+
+
+def decide_moves(
+    state: CommunityState,
+    active_idx: np.ndarray,
+    remove_self: bool = True,
+) -> DecideResult:
+    """Run DecideAndMove for every vertex in ``active_idx`` (must be sorted).
+
+    Parameters
+    ----------
+    state:
+        Current BSP iteration state (consistent snapshot).
+    active_idx:
+        Sorted vertex ids to process.
+    remove_self:
+        When True (default, Grappolo/standard Louvain), a vertex's own
+        strength is removed from its community's ``D_V`` when evaluating the
+        gain of staying. When False, Eq. 2 is applied verbatim as printed in
+        the paper.
+    """
+    g = state.graph
+    comm = state.comm
+    strength = g.strength
+    m = g.total_weight
+    two_m = g.two_m
+    active_idx = np.asarray(active_idx, dtype=np.int64)
+    n_act = len(active_idx)
+
+    cur = comm[active_idx]
+    if m == 0.0 or n_act == 0:
+        # Edgeless graph (or empty active set): nobody can move.
+        return DecideResult(
+            active_idx=active_idx,
+            best_comm=cur.copy(),
+            best_gain=np.full(n_act, -np.inf),
+            stay_gain=np.zeros(n_act),
+            move=np.zeros(n_act, dtype=bool),
+        )
+
+    # Default stay gain: no neighbours inside the current community.
+    act_strength = strength[active_idx]
+    gamma = state.resolution
+    cur_total = state.comm_strength[cur]
+    if remove_self:
+        cur_total = cur_total - act_strength
+    stay_gain = (0.0 - gamma * cur_total * act_strength / two_m) / m
+
+    counts = np.diff(g.indptr)[active_idx]
+    if counts.sum() == 0:
+        # Isolated vertices: nothing to decide.
+        return DecideResult(
+            active_idx=active_idx,
+            best_comm=cur.copy(),
+            best_gain=np.full(n_act, -np.inf),
+            stay_gain=stay_gain,
+            move=np.zeros(n_act, dtype=bool),
+        )
+
+    # (1) gather
+    eidx = repeat_by_counts(g.indptr[active_idx], counts)
+    v_edge = np.repeat(active_idx, counts)
+    u = g.indices[eidx]
+    w = g.weights[eidx]
+    cu = comm[u]
+
+    # (2) aggregate d_C(v) per (v, C) pair. Sorting by the packed key
+    # (v, C) -> v*n + C with a stable sort is equivalent to
+    # lexsort((cu, v_edge)) but ~15x faster (single radix pass); the
+    # stability keeps same-(v, C) weights in adjacency order, which the
+    # cross-backend bit-exactness relies on. Guard the n*n key overflow
+    # (only reachable beyond ~3e9 vertices).
+    if g.n <= 3_000_000_000:
+        key = v_edge * np.int64(g.n) + cu
+        order = np.argsort(key, kind="stable")
+    else:  # pragma: no cover - beyond any laptop-scale graph
+        order = np.lexsort((cu, v_edge))
+    sv, sc, sw = v_edge[order], cu[order], w[order]
+    new_run = np.empty(len(sv), dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (sv[1:] != sv[:-1]) | (sc[1:] != sc[:-1])
+    starts = np.flatnonzero(new_run)
+    d_vc = np.add.reduceat(sw, starts)
+    pair_v = sv[starts]
+    pair_c = sc[starts]
+
+    # (3) candidate gains
+    pair_strength = strength[pair_v]
+    pair_total = state.comm_strength[pair_c]
+    is_own = pair_c == comm[pair_v]
+    if remove_self:
+        pair_total = np.where(is_own, pair_total - pair_strength, pair_total)
+    gain = (d_vc - gamma * pair_total * pair_strength / two_m) / m
+
+    # Stay gain from the own-community pair where present.
+    # pair_v is sorted; map each pair to its active slot.
+    slot = np.searchsorted(active_idx, pair_v)
+    own_pairs = np.flatnonzero(is_own)
+    stay_gain[slot[own_pairs]] = gain[own_pairs]
+
+    # (4) per-vertex argmax over *other* communities
+    cand_gain = np.where(is_own, -np.inf, gain)
+    offsets = np.concatenate(
+        [
+            np.searchsorted(pair_v, active_idx, side="left"),
+            [len(pair_v)],
+        ]
+    ).astype(np.int64)
+    arg, valid = segment_argmax(cand_gain, offsets)
+    best_comm = np.where(valid, pair_c[arg], cur)
+    best_gain = np.where(valid, cand_gain[arg], -np.inf)
+    # A vertex whose only neighbours are in its own community has no
+    # candidate (its single pair is masked to -inf): treat as invalid.
+    valid &= np.isfinite(best_gain)
+    best_comm = np.where(valid, best_comm, cur)
+
+    # (5) guards
+    move = _apply_guards(state, active_idx, best_comm, best_gain, stay_gain, valid)
+    return DecideResult(
+        active_idx=active_idx,
+        best_comm=best_comm,
+        best_gain=best_gain,
+        stay_gain=stay_gain,
+        move=move,
+    )

@@ -1,0 +1,40 @@
+"""Pruning strategies for predicting unmoved vertices (paper Section 3).
+
+The engine asks the configured strategy, after every BSP iteration, which
+vertices should be *active* in the next one. Strategies:
+
+========  =====================================================  ==========
+name      rule                                                   guarantees
+========  =====================================================  ==========
+``none``  everyone active every iteration                        exact
+``sm``    inactive iff every referenced community's *member set* no FN
+          is unchanged (strict movement-based, [50])
+``rm``    inactive iff the vertex and all its neighbours were    FN possible
+          unmoved last iteration (relaxed movement-based,
+          Leiden [54] / parallel adaptation [50])
+``pm``    inactive with probability alpha when the vertex's own  FN possible
+          community id was stable (probabilistic, Vite [24])
+``mg``    inactive iff the modularity-gain upper bound (Eq. 6)   no FN
+          proves no move can beat staying — GALA's strategy
+``mg+rm`` intersection of the MG and RM active sets              FN possible
+========  =====================================================  ==========
+"""
+
+from repro.core.pruning.base import PruningStrategy, IterationContext, NoPruning, make_strategy
+from repro.core.pruning.strict import StrictMovementPruning
+from repro.core.pruning.relaxed import RelaxedMovementPruning
+from repro.core.pruning.probabilistic import ProbabilisticMovementPruning
+from repro.core.pruning.modularity_gain import ModularityGainPruning
+from repro.core.pruning.combined import CombinedPruning
+
+__all__ = [
+    "PruningStrategy",
+    "IterationContext",
+    "NoPruning",
+    "make_strategy",
+    "StrictMovementPruning",
+    "RelaxedMovementPruning",
+    "ProbabilisticMovementPruning",
+    "ModularityGainPruning",
+    "CombinedPruning",
+]

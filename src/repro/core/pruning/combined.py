@@ -1,0 +1,34 @@
+"""Combined pruning: intersection of two strategies' active sets.
+
+The paper's Section 5.3 evaluates MG+RM: "MG and RM are not competitive but
+complementary since they prune from different angles" — RM prunes quiet
+neighbourhoods (unsoundly), MG prunes provably-stable vertices; combining
+them reaches up to 91.9% pruning at RM's (small) modularity cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pruning.base import IterationContext, PruningStrategy
+from repro.core.state import CommunityState
+
+
+class CombinedPruning(PruningStrategy):
+    """Active iff active under *every* constituent strategy."""
+
+    def __init__(self, *strategies: PruningStrategy, name: str | None = None) -> None:
+        if len(strategies) < 2:
+            raise ValueError("CombinedPruning needs at least two strategies")
+        self.strategies = strategies
+        self.name = name or "+".join(s.name for s in strategies)
+
+    def reset(self, state: CommunityState) -> None:
+        for s in self.strategies:
+            s.reset(state)
+
+    def next_active(self, ctx: IterationContext) -> np.ndarray:
+        active = self.strategies[0].next_active(ctx)
+        for s in self.strategies[1:]:
+            active = np.logical_and(active, s.next_active(ctx))
+        return active

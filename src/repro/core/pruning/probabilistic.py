@@ -1,0 +1,41 @@
+"""Probabilistic movement-based pruning (PM) — Vite's strategy [24].
+
+PM looks only at the vertex's own movement history: if its community id was
+stable across the last two consecutive iterations, the vertex is pruned
+with probability ``alpha`` (paper default 0.25). Aggressive — the paper
+notes PM terminates earlier than every other strategy and pays for it with
+the largest modularity loss (Table 3, avg 0.00413) and the highest FNR
+(Table 1, avg 6.35%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pruning.base import IterationContext, PruningStrategy
+from repro.core.state import CommunityState
+
+
+class ProbabilisticMovementPruning(PruningStrategy):
+    """PM: stable-id vertices are pruned with probability ``alpha``."""
+
+    name = "pm"
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not (0.0 <= alpha <= 1.0):
+            raise ValueError("alpha must be in [0, 1]")
+        self.alpha = alpha
+        self._stable_once: np.ndarray | None = None
+
+    def reset(self, state: CommunityState) -> None:
+        # Tracks whether the vertex was already unmoved in the iteration
+        # before the last one, giving the "two consecutive iterations" test.
+        self._stable_once = np.zeros(state.graph.n, dtype=bool)
+
+    def next_active(self, ctx: IterationContext) -> np.ndarray:
+        unmoved = ~ctx.moved
+        assert self._stable_once is not None, "reset() not called"
+        stable_twice = unmoved & self._stable_once
+        self._stable_once = unmoved
+        coin = ctx.rng.random(len(unmoved)) < self.alpha
+        return ~(stable_twice & coin)

@@ -1,0 +1,26 @@
+"""Relaxed movement-based pruning (RM) — paper Section 3.2, from [50, 54].
+
+A vertex is inactive if it and all of its neighbours were unmoved in the
+previous iteration. Cheaper and far more aggressive than SM, but unsound:
+Lemma 4's counterexample — a non-neighbour leaving a nearby community
+changes that community's ``D_V`` and can make a move profitable for a
+vertex whose neighbourhood looks quiet. The paper measures an average
+0.37% false-negative rate and ~0.0012 modularity loss from this strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pruning.base import IterationContext, PruningStrategy, neighborhood_any
+
+
+class RelaxedMovementPruning(PruningStrategy):
+    """RM: active iff the vertex or a neighbour moved last iteration."""
+
+    name = "rm"
+
+    def next_active(self, ctx: IterationContext) -> np.ndarray:
+        active = ctx.moved.copy()
+        active |= neighborhood_any(ctx.state, ctx.moved)
+        return active

@@ -1,0 +1,88 @@
+"""Community weight updating — paper Section 3.5.
+
+After the BSP move step, every vertex's ``d_{C[v]}(v)`` (the weight between
+the vertex and its — possibly new — community) must be brought up to date
+for the next iteration. Two implementations:
+
+* :func:`recompute_all` — the naive approach (Algorithm 1 lines 6-7): scan
+  every vertex's neighbourhood. Same complexity as DecideAndMove itself;
+  once MG pruning shrinks DecideAndMove, this becomes the bottleneck
+  (Figure 8, bar P1: 45.7% of runtime).
+* :func:`delta_update` — GALA's scheme: moved vertices recompute their own
+  weight from scratch; every *moved* vertex additionally "informs its
+  neighbours", i.e. pushes ``±w(u, v)`` deltas to unmoved neighbours whose
+  community it left or joined. Cost is proportional to the degree sum of
+  the moved set, which shrinks rapidly in late iterations (Figure 8 bar P2
+  reports a 7.3x weight-update speedup).
+
+Both leave the state bit-equivalent (a hypothesis-tested invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import CommunityState
+from repro.utils.arrays import repeat_by_counts
+
+
+def recompute_all(state: CommunityState, prev_comm: np.ndarray, moved: np.ndarray) -> None:
+    """Naive full recomputation of ``d_comm`` (baseline; args unused)."""
+    state.recompute_d_comm()
+
+
+def delta_update(
+    state: CommunityState, prev_comm: np.ndarray, moved: np.ndarray
+) -> None:
+    """Delta-update ``d_comm`` from the moved-vertex set.
+
+    Must be called *after* ``state.comm`` holds the new assignment, with
+    ``prev_comm``/``moved`` describing what changed.
+    """
+    g = state.graph
+    movers = np.flatnonzero(moved)
+    if len(movers) == 0:
+        return
+
+    # (1) moved vertices: their community changed, recompute from scratch.
+    state.recompute_d_comm(movers)
+
+    # (2) unmoved neighbours of moved vertices: apply +/- deltas. The
+    # adjacency is symmetric, so scanning the movers' rows enumerates every
+    # (mover u -> neighbour v) incidence exactly once.
+    counts = np.diff(g.indptr)[movers]
+    if counts.sum() == 0:
+        return
+    eidx = repeat_by_counts(g.indptr[movers], counts)
+    u = np.repeat(movers, counts)  # the mover
+    v = g.indices[eidx]  # its neighbour
+    w = g.weights[eidx]
+
+    unmoved_v = ~moved[v]
+    if not np.any(unmoved_v):
+        return
+    u, v, w = u[unmoved_v], v[unmoved_v], w[unmoved_v]
+    cv = state.comm[v]  # v unmoved: current == previous community
+    left = prev_comm[u] == cv  # u left v's community: subtract
+    joined = state.comm[u] == cv  # u joined v's community: add
+    delta = np.where(joined, w, 0.0) - np.where(left, w, 0.0)
+    relevant = delta != 0.0
+    if np.any(relevant):
+        np.add.at(state.d_comm, v[relevant], delta[relevant])
+
+
+WEIGHT_UPDATERS = {
+    "recompute": recompute_all,
+    "delta": delta_update,
+}
+
+
+def make_weight_updater(spec: str):
+    """Resolve a weight-update mode name to its implementation."""
+    try:
+        return WEIGHT_UPDATERS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown weight update mode {spec!r}; expected one of "
+            f"{sorted(WEIGHT_UPDATERS)}"
+        ) from None

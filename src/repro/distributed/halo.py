@@ -1,0 +1,78 @@
+"""Per-rank graph views and ghost-vertex bookkeeping.
+
+A :class:`RankView` is what one MPI rank would hold in a Vite-style
+distributed Louvain:
+
+* the ids it **owns** (it decides moves for these and is the single
+  writer of their state);
+* its **ghosts** — non-owned vertices adjacent to an owned vertex, whose
+  community ids the rank must mirror to evaluate gains;
+* for each *other* rank, which of this rank's owned vertices that rank
+  ghosts (the send list of the halo exchange).
+
+Send lists are the transpose of ghost sets, so a rank only ever sends an
+update to ranks that actually mirror the vertex — the communication-
+volume property that distinguishes halo exchange from broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import VertexPartition
+
+
+@dataclass
+class RankView:
+    """One rank's ownership + halo structure."""
+
+    rank: int
+    owned: np.ndarray  # sorted vertex ids this rank owns
+    ghosts: np.ndarray  # sorted non-owned vertices adjacent to owned ones
+    #: send_lists[r] = owned vertices that rank r keeps as ghosts
+    send_lists: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_owned(self) -> int:
+        return len(self.owned)
+
+    @property
+    def num_ghosts(self) -> int:
+        return len(self.ghosts)
+
+    def visible(self) -> np.ndarray:
+        """All vertices whose community id this rank can read locally."""
+        return np.union1d(self.owned, self.ghosts)
+
+
+def build_rank_views(
+    graph: CSRGraph, partition: VertexPartition
+) -> list[RankView]:
+    """Construct every rank's view from a vertex partition."""
+    if partition.n != graph.n:
+        raise PartitionError("partition does not cover this graph")
+    k = partition.num_parts
+    owner = partition.owner
+    row = np.repeat(np.arange(graph.n), np.diff(graph.indptr))
+
+    views: list[RankView] = []
+    for r in range(k):
+        owned = np.flatnonzero(owner == r)
+        mask = owner[row] == r
+        nbrs = graph.indices[mask]
+        ghosts = np.unique(nbrs[owner[nbrs] != r])
+        views.append(RankView(rank=r, owned=owned, ghosts=ghosts))
+
+    # transpose ghost sets into send lists
+    for r, view in enumerate(views):
+        for other in views:
+            if other.rank == r:
+                continue
+            mine_ghosted_there = other.ghosts[owner[other.ghosts] == r]
+            if len(mine_ghosted_there):
+                view.send_lists[other.rank] = mine_ghosted_there
+    return views

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to distinguish graph-construction problems from
+simulator misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when an on-disk graph file cannot be parsed."""
+
+
+class GraphValidationError(ReproError):
+    """Raised when a graph violates a structural invariant.
+
+    Examples: non-symmetric adjacency for an undirected graph, negative
+    edge weights, out-of-range vertex ids, or a non-monotone ``indptr``.
+    """
+
+
+class GeneratorParameterError(ReproError):
+    """Raised when a synthetic-graph generator is given infeasible parameters.
+
+    The LFR generator in particular has feasibility constraints linking the
+    degree sequence, the community-size sequence, and the mixing parameter.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative procedure exceeds its iteration budget."""
+
+
+class DeviceError(ReproError):
+    """Raised on invalid use of the simulated GPU device.
+
+    Examples: allocating more shared memory than the device provides,
+    launching a kernel with an illegal block size, or accessing a buffer
+    that lives on a different simulated device.
+    """
+
+
+class HashTableFullError(DeviceError):
+    """Raised when a simulated hashtable cannot place a key in any bucket."""
+
+
+class PartitionError(ReproError):
+    """Raised when a multi-GPU vertex partition is malformed."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the benchmark harness when an experiment is misconfigured."""

@@ -1,0 +1,38 @@
+"""Simulated GPU substrate.
+
+The paper's memory-management contributions (Section 4) are about *where*
+the DecideAndMove intermediate states live in the GPU memory hierarchy —
+registers exchanged with warp primitives, a hashtable split across shared
+and global memory — and how many accesses land on each level. This package
+provides a functional simulator of exactly those mechanisms:
+
+* :mod:`costmodel` / :mod:`profiler` — a cycle-cost model (A100-flavoured
+  latencies) and named accounting buckets;
+* :mod:`device`   — device configuration (warp size, shared-memory budget);
+* :mod:`warp`     — warp-level primitives (``__match_any_sync``,
+  ``__reduce_add_sync``, ``__reduce_max_sync``, ``__shfl_sync``);
+* :mod:`atomics`  — atomicAdd / atomicCAS with serialisation-conflict costs;
+* :mod:`hashtable` — the three hashtable designs the paper compares
+  (global-only, unified, hierarchical);
+* :mod:`nccl`     — ring AllReduce / AllGather collectives with a
+  bandwidth-latency communication cost model (for multi-GPU scaling).
+
+Simulated kernels execute real computation (they return bit-identical
+community decisions to the vectorised backend — tested) while charging the
+cost model for every simulated memory access, so relative kernel costs
+reproduce the paper's orderings without CUDA hardware.
+"""
+
+from repro.gpusim.costmodel import CostModel, MemoryKind
+from repro.gpusim.device import Device, DeviceConfig
+from repro.gpusim.profiler import SimProfiler
+from repro.gpusim.warp import WarpContext
+
+__all__ = [
+    "CostModel",
+    "MemoryKind",
+    "Device",
+    "DeviceConfig",
+    "SimProfiler",
+    "WarpContext",
+]

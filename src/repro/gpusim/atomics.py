@@ -1,0 +1,82 @@
+"""Atomic operations with serialisation-conflict accounting.
+
+The hash-based kernel uses ``atomicCAS`` to claim hashtable buckets and
+``atomicAdd`` to accumulate ``d_C(v)``. When multiple lanes of a warp hit
+the same address in the same step, the hardware serialises them — the cost
+of the step is the longest chain. The helpers here perform the update
+functionally (NumPy scatter) and charge the cost model accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.costmodel import MemoryKind
+from repro.gpusim.device import Device
+
+
+def _max_conflict(addresses: np.ndarray) -> int:
+    if len(addresses) == 0:
+        return 0
+    return int(np.bincount(addresses).max())
+
+
+def atomic_add(
+    device: Device,
+    array: np.ndarray,
+    addresses: np.ndarray,
+    values: np.ndarray,
+    space: MemoryKind,
+    bucket: str = "atomics",
+) -> None:
+    """Concurrent ``array[addresses] += values`` with conflict costing.
+
+    ``addresses`` are the per-lane targets of one simultaneous warp/block
+    step; duplicates serialise.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if len(addresses) == 0:
+        return
+    np.add.at(array, addresses, values)
+    conflict = _max_conflict(addresses)
+    device.profiler.charge(
+        bucket, device.config.cost.atomic(space, n=1, max_conflict=conflict)
+    )
+    device.profiler.count(f"{space.value}_atomics", len(addresses))
+
+
+def atomic_cas_claim(
+    device: Device,
+    slots: np.ndarray,
+    addresses: np.ndarray,
+    keys: np.ndarray,
+    empty: int,
+    space: MemoryKind,
+    bucket: str = "atomics",
+) -> np.ndarray:
+    """Concurrent compare-and-swap claims of hashtable buckets.
+
+    Each lane tries ``CAS(slots[addr], empty, key)``. Returns the value each
+    lane observed *before* its own CAS resolved (the CUDA return-value
+    semantics): ``empty`` means the lane won the bucket, the winner's key
+    means it lost to a same-step claimant, an existing key means the bucket
+    was already owned.
+
+    Lanes are resolved in lane order, which is a legal serialisation of the
+    hardware's arbitrary one.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    keys = np.asarray(keys, dtype=np.int64)
+    observed = np.empty(len(addresses), dtype=np.int64)
+    for lane, (addr, key) in enumerate(zip(addresses, keys)):
+        observed[lane] = slots[addr]
+        if slots[addr] == empty:
+            slots[addr] = key
+    if len(addresses):
+        conflict = _max_conflict(addresses)
+        device.profiler.charge(
+            bucket, device.config.cost.atomic(space, n=1, max_conflict=conflict)
+        )
+        device.profiler.count(f"{space.value}_atomics", len(addresses))
+    return observed

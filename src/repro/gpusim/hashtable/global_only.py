@@ -1,0 +1,29 @@
+"""Global-only hashtable: the naive baseline (paper Section 4.2).
+
+Every bucket lives in global memory; collisions are resolved by linear
+probing. This is the design of the earlier GPU Louvain implementations the
+paper cites [8, 15, 39] and the "Global-only" bar of Figure 9(b).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gpusim.costmodel import MemoryKind
+from repro.gpusim.device import Device
+from repro.gpusim.hashtable.base import SimHashTable, hash0
+
+
+class GlobalOnlyHashTable(SimHashTable):
+    """All buckets in global memory, linear probing."""
+
+    kind = "global"
+
+    def __init__(self, device: Device, shared_buckets: int, global_buckets: int):
+        # shared_buckets is accepted for interface uniformity but unused.
+        super().__init__(device, 0, max(global_buckets + shared_buckets, 1))
+
+    def probe_sequence(self, key: int) -> Iterator[tuple[MemoryKind, int]]:
+        start = hash0(key, self.g)
+        for i in range(self.g):
+            yield MemoryKind.GLOBAL, (start + i) % self.g

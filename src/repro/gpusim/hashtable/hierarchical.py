@@ -1,0 +1,35 @@
+"""Hierarchical hashtable: GALA's shared-memory-first design (Section 4.2).
+
+Two hash functions: ``h0`` indexes the shared-memory buckets, ``h1`` the
+global ones. An access first probes its single ``h0`` bucket in shared
+memory; only on a collision (bucket owned by a different community) does it
+fall back to the ``h1`` bucket in global memory, linearly probing from
+there (the paper's Example 2 and Figure 3).
+
+Because the number of distinct neighbouring communities shrinks as the
+algorithm converges, ever more communities win their shared bucket —
+exactly the increasing maintenance/access-rate trend of Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gpusim.costmodel import MemoryKind
+from repro.gpusim.device import Device
+from repro.gpusim.hashtable.base import SimHashTable, hash0, hash1
+
+
+class HierarchicalHashTable(SimHashTable):
+    """Shared-first probing: h0 -> shared; on collision h1 -> global."""
+
+    kind = "hierarchical"
+
+    def __init__(self, device: Device, shared_buckets: int, global_buckets: int):
+        super().__init__(device, max(shared_buckets, 1), max(global_buckets, 1))
+
+    def probe_sequence(self, key: int) -> Iterator[tuple[MemoryKind, int]]:
+        yield MemoryKind.SHARED, hash0(key, self.s)
+        start = hash1(key, self.g)
+        for i in range(self.g):
+            yield MemoryKind.GLOBAL, (start + i) % self.g

@@ -1,0 +1,36 @@
+"""Unified hashtable: one hash over the concatenated bucket space.
+
+A single hash function addresses all ``s + g`` buckets; an element lands in
+shared memory only with probability ``s / (s + g)`` under a random hash —
+the paper's point that this design "implicitly assigns equal importance to
+both shared memory and global memory". Linear probing continues through the
+combined space (wrapping), so an element hashed into the global region can
+even spill *back* into shared and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gpusim.costmodel import MemoryKind
+from repro.gpusim.device import Device
+from repro.gpusim.hashtable.base import SimHashTable, hash0
+
+
+class UnifiedHashTable(SimHashTable):
+    """Single hash over shared ++ global, linear probing across both."""
+
+    kind = "unified"
+
+    def __init__(self, device: Device, shared_buckets: int, global_buckets: int):
+        super().__init__(device, shared_buckets, max(global_buckets, 1))
+
+    def probe_sequence(self, key: int) -> Iterator[tuple[MemoryKind, int]]:
+        total = self.s + self.g
+        start = hash0(key, total)
+        for i in range(total):
+            idx = (start + i) % total
+            if idx < self.s:
+                yield MemoryKind.SHARED, idx
+            else:
+                yield MemoryKind.GLOBAL, idx - self.s

@@ -1,0 +1,103 @@
+"""Kernel launch configuration and occupancy accounting.
+
+The simulator's kernels charge *serial* cycles (every simulated access
+summed). Real GPUs overlap thousands of warps; this module supplies the
+conversion: a :class:`LaunchPlan` maps a workload onto blocks/warps, its
+:func:`occupancy` says how many warps the device can keep in flight, and
+``parallel_seconds`` divides serial cycles by the effective parallelism —
+the throughput view used when comparing simulated runtimes across
+configurations with *different* parallel shapes (e.g. warp-per-vertex vs
+block-per-vertex in the Figure 9 workloads).
+
+Within one experiment all variants share a shape, so relative orderings are
+unaffected; this module exists to expose the absolute-scale assumption
+explicitly rather than bury it in the cost constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpusim.device import Device, DeviceConfig
+
+
+@dataclass(frozen=True)
+class LaunchPlan:
+    """One kernel launch: how a vertex workload maps onto the device."""
+
+    num_blocks: int
+    threads_per_block: int
+    #: vertices handled per warp (shuffle kernel: 1) or per block (hash: 1)
+    items_per_group: int
+    #: "warp" or "block" — the cooperative group owning one vertex
+    group: str
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    def warps_per_block(self, config: DeviceConfig) -> int:
+        return max(1, self.threads_per_block // config.warp_size)
+
+
+def plan_warp_per_vertex(
+    num_vertices: int, config: DeviceConfig, threads_per_block: int = 256
+) -> LaunchPlan:
+    """Shuffle-kernel launch: one warp per small-degree vertex."""
+    config.validate_block(threads_per_block)
+    warps_per_block = threads_per_block // config.warp_size
+    if warps_per_block == 0:
+        raise DeviceError("block smaller than one warp")
+    blocks = -(-num_vertices // warps_per_block)
+    return LaunchPlan(
+        num_blocks=max(blocks, 1),
+        threads_per_block=threads_per_block,
+        items_per_group=1,
+        group="warp",
+    )
+
+
+def plan_block_per_vertex(
+    num_vertices: int, config: DeviceConfig, threads_per_block: int = 128
+) -> LaunchPlan:
+    """Hash-kernel launch: one block per large-degree vertex."""
+    config.validate_block(threads_per_block)
+    return LaunchPlan(
+        num_blocks=max(num_vertices, 1),
+        threads_per_block=threads_per_block,
+        items_per_group=1,
+        group="block",
+    )
+
+
+def occupancy(plan: LaunchPlan, config: DeviceConfig) -> float:
+    """Fraction of the device's warp slots the launch can fill, in (0, 1].
+
+    Simplified A100 occupancy: 64 warp slots per SM, limited by how many
+    of the launch's blocks fit per SM (shared-memory-agnostic — the
+    kernels size their tables to fit by construction).
+    """
+    warp_slots_per_sm = 64
+    warps_per_block = plan.warps_per_block(config)
+    blocks_per_sm = max(1, warp_slots_per_sm // warps_per_block)
+    resident_blocks = min(plan.num_blocks, blocks_per_sm * config.num_sms)
+    resident_warps = resident_blocks * warps_per_block
+    return min(1.0, resident_warps / (warp_slots_per_sm * config.num_sms))
+
+
+def effective_parallelism(plan: LaunchPlan, config: DeviceConfig) -> float:
+    """How many warps the whole device executes concurrently for this
+    launch (>= 1)."""
+    warp_slots_per_sm = 64
+    return max(1.0, occupancy(plan, config) * warp_slots_per_sm * config.num_sms)
+
+
+def parallel_seconds(
+    device: Device, serial_cycles: float, plan: LaunchPlan
+) -> float:
+    """Convert serial simulated cycles into throughput-view seconds."""
+    para = effective_parallelism(plan, device.config)
+    return device.cycles_to_seconds(serial_cycles / para)

@@ -1,0 +1,63 @@
+"""Accounting for simulated cycles and event counts.
+
+Kernels charge cycles into named buckets (``decide_and_move``,
+``hashtable``, ``sync`` ...) and bump named counters (``smem_probes``,
+``gmem_probes``, ``shuffle_ops`` ...). The benchmark harness reads both to
+regenerate the paper's figures: cycles drive the runtime comparisons
+(Figures 5/6/9), counters drive the rate plots (Figure 4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimProfiler:
+    """Named cycle buckets + named event counters."""
+
+    cycles: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def charge(self, bucket: str, cycles: float) -> None:
+        """Add ``cycles`` to ``bucket`` (and the grand total)."""
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        self.cycles[bucket] += cycles
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(self.cycles.values()))
+
+    def merge(self, other: "SimProfiler") -> None:
+        """Fold another profiler's charges into this one."""
+        for k, v in other.cycles.items():
+            self.cycles[k] += v
+        for k, v in other.counters.items():
+            self.counters[k] += v
+
+    def reset(self) -> None:
+        self.cycles.clear()
+        self.counters.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for reporting."""
+        return {
+            "cycles": dict(self.cycles),
+            "counters": dict(self.counters),
+            "total_cycles": self.total_cycles,
+        }
+
+    def rate(self, numerator: str, denominator: str) -> float:
+        """Ratio of two counters (0.0 when the denominator is empty).
+
+        Example: ``rate("smem_accesses", "table_accesses")`` is the paper's
+        Figure 4 *access rate*.
+        """
+        denom = self.counters.get(denominator, 0)
+        return self.counters.get(numerator, 0) / denom if denom else 0.0

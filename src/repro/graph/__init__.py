@@ -1,0 +1,33 @@
+"""Graph substrate: CSR storage, builders, I/O, generators, coarsening.
+
+The whole library operates on :class:`repro.graph.csr.CSRGraph`, a weighted
+undirected graph in compressed-sparse-row form with self-loops held out of
+the adjacency in an explicit ``self_weight`` array (see the class docstring
+for the weight conventions, which follow the paper's Section 2.1).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import (
+    build_csr,
+    from_edge_array,
+    symmetrize_edges,
+    coalesce_edges,
+)
+from repro.graph.coarsen import coarsen_graph
+from repro.graph.partition import VertexPartition, partition_contiguous, partition_by_degree
+from repro.graph.reorder import degree_order, bfs_order, relabel_graph
+
+__all__ = [
+    "CSRGraph",
+    "build_csr",
+    "from_edge_array",
+    "symmetrize_edges",
+    "coalesce_edges",
+    "coarsen_graph",
+    "VertexPartition",
+    "partition_contiguous",
+    "partition_by_degree",
+    "degree_order",
+    "bfs_order",
+    "relabel_graph",
+]

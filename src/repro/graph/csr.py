@@ -1,0 +1,213 @@
+"""Weighted undirected CSR graph.
+
+Weight conventions (paper Section 2.1, Newman's modularity convention):
+
+* The adjacency (``indptr``/``indices``/``weights``) stores only **non-loop**
+  edges; every undirected edge ``{u, v}`` appears twice, once in each
+  endpoint's row, with the same weight.
+* Self-loops live in the dense ``self_weight`` array. A loop of weight ``w``
+  contributes ``2 w`` to its vertex's weighted degree (``strength``), exactly
+  as the contracted intra-community weight must after a phase-2 coarsening
+  step (the paper: "edge weights within a community are grouped into a
+  self-loop edge" and "each edge in the community is considered twice when
+  D_C(C) is calculated").
+* ``|E|`` (written ``total_weight`` here) is the weighted cardinality of the
+  undirected edge set: each non-loop edge once, each loop once. Therefore
+  ``2|E| == strength.sum()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+
+
+@dataclass
+class CSRGraph:
+    """Immutable weighted undirected graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[n + 1]`` row offsets into ``indices``/``weights``.
+    indices:
+        ``int64[2 * m_nonloop]`` neighbour ids; each undirected non-loop edge
+        is stored in both endpoint rows. Rows are sorted by neighbour id.
+    weights:
+        ``float64`` edge weights aligned with ``indices``.
+    self_weight:
+        ``float64[n]`` self-loop weight per vertex (0 when absent).
+    name:
+        Optional human-readable label used by the benchmark reporting.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    self_weight: np.ndarray
+    name: str = "graph"
+    _strength: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored adjacency entries (2x each non-loop edge)."""
+        return len(self.indices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, self-loops included once each."""
+        return self.num_directed_edges // 2 + int(np.count_nonzero(self.self_weight))
+
+    @property
+    def total_weight(self) -> float:
+        """``|E|``: weighted cardinality of the undirected edge set."""
+        return float(self.weights.sum()) / 2.0 + float(self.self_weight.sum())
+
+    @property
+    def two_m(self) -> float:
+        """``2|E|`` — equals the sum of all weighted degrees."""
+        return 2.0 * self.total_weight
+
+    @property
+    def strength(self) -> np.ndarray:
+        """Weighted degree ``d(v)`` per vertex (self-loops counted twice).
+
+        Computed lazily once and cached; the graph is treated as immutable.
+        """
+        if self._strength is None:
+            row_sums = np.zeros(self.n, dtype=np.float64)
+            if len(self.weights):
+                # reduceat misbehaves on empty rows (it returns
+                # values[start], or rejects an out-of-range trailing
+                # start), so reduce only the non-empty rows: their starts
+                # are strictly increasing and in range, making consecutive
+                # starts valid segment boundaries.
+                nonempty = self.indptr[1:] > self.indptr[:-1]
+                starts = self.indptr[:-1][nonempty]
+                row_sums[nonempty] = np.add.reduceat(
+                    self.weights, starts, dtype=np.float64
+                )
+            object.__setattr__(self, "_strength", row_sums + 2.0 * self.self_weight)
+        return self._strength
+
+    def degrees(self) -> np.ndarray:
+        """Unweighted adjacency-row lengths (self-loops not counted)."""
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of vertex ``v``'s neighbour ids (no copy)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """View of vertex ``v``'s incident edge weights (no copy)."""
+        return self.weights[self.indptr[v]:self.indptr[v + 1]]
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, w)`` with ``u <= v``.
+
+        Self-loops are yielded as ``(v, v, self_weight[v])``. Intended for
+        tests and I/O, not hot paths.
+        """
+        for v in range(self.n):
+            lo, hi = self.indptr[v], self.indptr[v + 1]
+            for j in range(lo, hi):
+                u = int(self.indices[j])
+                if v <= u:
+                    yield v, u, float(self.weights[j])
+            if self.self_weight[v] != 0.0:
+                yield v, v, float(self.self_weight[v])
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check all structural invariants; raise GraphValidationError."""
+        if self.indptr.ndim != 1 or len(self.indptr) < 1:
+            raise GraphValidationError("indptr must be 1-D with >= 1 entries")
+        if self.indptr[0] != 0:
+            raise GraphValidationError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphValidationError("indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices):
+            raise GraphValidationError("indptr[-1] must equal len(indices)")
+        if len(self.indices) != len(self.weights):
+            raise GraphValidationError("indices and weights must align")
+        if len(self.self_weight) != self.n:
+            raise GraphValidationError("self_weight must have one entry per vertex")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.n
+        ):
+            raise GraphValidationError("neighbour id out of range")
+        if np.any(self.weights < 0) or np.any(self.self_weight < 0):
+            raise GraphValidationError("negative edge weight")
+        row_ids = np.repeat(np.arange(self.n), np.diff(self.indptr))
+        if np.any(self.indices == row_ids):
+            raise GraphValidationError(
+                "self-loop found in adjacency; loops belong in self_weight"
+            )
+        # Symmetry: the multiset of (u, v, w) must equal that of (v, u, w).
+        order_fwd = np.lexsort((self.indices, row_ids))
+        order_rev = np.lexsort((row_ids, self.indices))
+        if not (
+            np.array_equal(row_ids[order_fwd], self.indices[order_rev])
+            and np.array_equal(self.indices[order_fwd], row_ids[order_rev])
+            and np.allclose(self.weights[order_fwd], self.weights[order_rev])
+        ):
+            raise GraphValidationError("adjacency is not symmetric")
+        # Rows sorted by neighbour id (builder guarantees this; generators
+        # constructing CSR manually must too — binary search relies on it).
+        for v in range(self.n):
+            row = self.neighbors(v)
+            if len(row) > 1 and np.any(np.diff(row) < 0):
+                raise GraphValidationError(f"row {v} not sorted")
+            if len(row) > 1 and np.any(np.diff(row) == 0):
+                raise GraphValidationError(f"row {v} has duplicate neighbours")
+
+    # ------------------------------------------------------------------ #
+    # Conversion helpers (tests / examples)
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (weights on the ``weight`` key)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for u, v, w in self.iter_edges():
+            g.add_edge(u, v, weight=w)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, name: str = "graph") -> "CSRGraph":
+        """Build from a ``networkx.Graph`` with integer nodes ``0..n-1``."""
+        from repro.graph.builder import from_edge_array
+
+        n = g.number_of_nodes()
+        edges = np.array(
+            [(u, v, d.get("weight", 1.0)) for u, v, d in g.edges(data=True)],
+            dtype=np.float64,
+        ).reshape(-1, 3)
+        src = edges[:, 0].astype(np.int64)
+        dst = edges[:, 1].astype(np.int64)
+        w = edges[:, 2]
+        return from_edge_array(n, src, dst, w, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, n={self.n}, "
+            f"edges={self.num_edges}, |E|={self.total_weight:.1f})"
+        )

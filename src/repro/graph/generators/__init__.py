@@ -1,0 +1,55 @@
+"""Synthetic graph generators.
+
+* :mod:`classic` — small deterministic structures (cliques, rings of
+  cliques, the karate club, a zebra-contact-scale toy).
+* :mod:`sbm` — planted-partition / stochastic-block-model graphs.
+* :mod:`random_models` — Erdős–Rényi, Barabási–Albert, Watts–Strogatz
+  nulls for off-the-happy-path testing.
+* :mod:`rmat` — RMAT/Kronecker power-law graphs (social-network-like).
+* :mod:`lfr` — the LFR benchmark with ground-truth communities (paper
+  Table 4 uses LFR graphs).
+* :mod:`datasets` — the registry of deterministic stand-ins for the seven
+  real-world graphs in the paper's Table 2.
+"""
+
+from repro.graph.generators.classic import (
+    clique,
+    ring_of_cliques,
+    karate_club,
+    star,
+    path_graph,
+    two_triangles,
+)
+from repro.graph.generators.sbm import planted_partition, stochastic_block_model
+from repro.graph.generators.random_models import (
+    erdos_renyi,
+    barabasi_albert,
+    watts_strogatz,
+)
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.lfr import lfr_graph, LFRParams
+from repro.graph.generators.datasets import (
+    DATASETS,
+    load_dataset,
+    dataset_names,
+)
+
+__all__ = [
+    "clique",
+    "ring_of_cliques",
+    "karate_club",
+    "star",
+    "path_graph",
+    "two_triangles",
+    "planted_partition",
+    "stochastic_block_model",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "rmat_graph",
+    "lfr_graph",
+    "LFRParams",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,107 @@
+"""Small deterministic graphs for tests, examples, and unit experiments.
+
+These mirror the figures in the paper's introduction: Figure 1(a) visualises
+communities on the KONECT *zebra* contact network (a ~27-vertex animal
+contact graph); :func:`ring_of_cliques` produces the canonical
+strong-community structure whose optimal Louvain behaviour is known in
+closed form, which makes it ideal for correctness tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeneratorParameterError
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
+
+
+def clique(k: int, weight: float = 1.0, name: str | None = None) -> CSRGraph:
+    """Complete graph on ``k`` vertices."""
+    if k < 1:
+        raise GeneratorParameterError("clique size must be >= 1")
+    u, v = np.triu_indices(k, k=1)
+    return from_edge_array(k, u, v, weight, name=name or f"K{k}")
+
+
+def ring_of_cliques(
+    num_cliques: int, clique_size: int, name: str | None = None
+) -> CSRGraph:
+    """``num_cliques`` cliques of ``clique_size``, joined in a cycle.
+
+    Each clique ``i`` is bridged to clique ``(i+1) % num_cliques`` by a single
+    unit-weight edge. For ``clique_size >= 3`` the modularity-optimal
+    partition puts each clique in its own community, so Louvain must recover
+    exactly ``num_cliques`` communities — a sharp correctness check.
+    """
+    if num_cliques < 3:
+        raise GeneratorParameterError("need >= 3 cliques to form a ring")
+    if clique_size < 2:
+        raise GeneratorParameterError("clique_size must be >= 2")
+    n = num_cliques * clique_size
+    srcs, dsts = [], []
+    iu, iv = np.triu_indices(clique_size, k=1)
+    for c in range(num_cliques):
+        base = c * clique_size
+        srcs.append(iu + base)
+        dsts.append(iv + base)
+    # Bridge: last vertex of clique c -> first vertex of clique c+1.
+    bridges_u = np.arange(num_cliques) * clique_size + (clique_size - 1)
+    bridges_v = (np.arange(1, num_cliques + 1) % num_cliques) * clique_size
+    srcs.append(bridges_u)
+    dsts.append(bridges_v)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    return from_edge_array(
+        n, src, dst, 1.0, name=name or f"ring{num_cliques}x{clique_size}"
+    )
+
+
+# Zachary's karate club: the 78 undirected edges of the canonical dataset.
+_KARATE_EDGES = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
+    (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2),
+    (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30), (2, 3),
+    (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32), (3, 7),
+    (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16), (6, 16),
+    (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33),
+    (15, 32), (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+    (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+    (24, 25), (24, 27), (24, 31), (25, 31), (26, 29), (26, 33), (27, 33),
+    (28, 31), (28, 33), (29, 32), (29, 33), (30, 32), (30, 33), (31, 32),
+    (31, 33), (32, 33),
+]
+
+
+def karate_club() -> CSRGraph:
+    """Zachary's karate club (34 vertices, 78 edges), the classic testbed."""
+    e = np.array(_KARATE_EDGES, dtype=np.int64)
+    return from_edge_array(34, e[:, 0], e[:, 1], 1.0, name="karate")
+
+
+def star(leaves: int, name: str | None = None) -> CSRGraph:
+    """Star graph: one hub connected to ``leaves`` leaves."""
+    if leaves < 1:
+        raise GeneratorParameterError("star needs >= 1 leaf")
+    dst = np.arange(1, leaves + 1)
+    src = np.zeros(leaves, dtype=np.int64)
+    return from_edge_array(leaves + 1, src, dst, 1.0, name=name or f"star{leaves}")
+
+
+def path_graph(n: int, name: str | None = None) -> CSRGraph:
+    """Path on ``n`` vertices."""
+    if n < 1:
+        raise GeneratorParameterError("path needs >= 1 vertex")
+    src = np.arange(n - 1)
+    return from_edge_array(n, src, src + 1, 1.0, name=name or f"path{n}")
+
+
+def two_triangles(bridge_weight: float = 1.0) -> CSRGraph:
+    """Two triangles joined by one bridge edge — the smallest two-community
+    graph, used throughout the pruning unit tests (vertices 0-2 and 3-5)."""
+    edges = np.array(
+        [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)], dtype=np.int64
+    )
+    w = np.ones(len(edges))
+    w[-1] = bridge_weight
+    return from_edge_array(6, edges[:, 0], edges[:, 1], w, name="two_triangles")

@@ -1,0 +1,113 @@
+"""Classic random-graph models: Erdős–Rényi, Barabási–Albert,
+Watts–Strogatz.
+
+These complement the community-structured generators: ER gives the
+no-structure null case (modularity of any partition ≈ 0 asymptotically),
+BA gives pure preferential-attachment skew, WS gives tunable clustering
+without mesoscale communities. All are used by tests probing behaviour
+*off* the community-detection happy path, and are exposed for users
+benchmarking their own workloads.
+
+All three are vectorised (no per-edge Python loops beyond the inherently
+sequential BA attachment rounds, which are batched per new vertex).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeneratorParameterError
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, as_generator
+
+
+def erdos_renyi(
+    n: int, p: float, seed: SeedLike = None, name: str | None = None
+) -> CSRGraph:
+    """G(n, p): each of the n-choose-2 pairs is an edge with prob. ``p``.
+
+    Sampled by drawing the binomial edge count and then sampling that many
+    distinct pair indices — O(m), no n^2 materialisation.
+    """
+    if n < 1:
+        raise GeneratorParameterError("n must be >= 1")
+    if not (0.0 <= p <= 1.0):
+        raise GeneratorParameterError("p must be in [0, 1]")
+    rng = as_generator(seed)
+    total_pairs = n * (n - 1) // 2
+    m = rng.binomial(total_pairs, p) if total_pairs else 0
+    m = min(m, total_pairs)
+    # sample distinct pair ranks, then invert the triangular indexing
+    ranks = rng.choice(total_pairs, size=m, replace=False) if m else np.empty(0, np.int64)
+    # pair rank r -> (i, j): i = row of the triangle containing r
+    # solve i(2n - i - 1)/2 <= r < (i+1)(2n - i - 2)/2 via the quadratic.
+    r = ranks.astype(np.float64)
+    i = np.floor((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * r)) / 2).astype(np.int64)
+    offset = i * (2 * n - i - 1) // 2
+    j = (ranks - offset + i + 1).astype(np.int64)
+    return from_edge_array(n, i, j, 1.0, name=name or f"er(n={n},p={p})")
+
+
+def barabasi_albert(
+    n: int, m_attach: int, seed: SeedLike = None, name: str | None = None
+) -> CSRGraph:
+    """Barabási–Albert preferential attachment: each new vertex attaches
+    to ``m_attach`` existing vertices chosen proportionally to degree.
+
+    Uses the standard repeated-endpoints trick: maintaining a flat list of
+    edge endpoints makes uniform sampling from it degree-proportional.
+    """
+    if m_attach < 1 or n <= m_attach:
+        raise GeneratorParameterError("need n > m_attach >= 1")
+    rng = as_generator(seed)
+    # seed star over the first m_attach + 1 vertices
+    src = list(range(m_attach))
+    dst = [m_attach] * m_attach
+    endpoints = src + dst
+    for v in range(m_attach + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m_attach:
+            need = m_attach - len(targets)
+            picks = rng.choice(endpoints, size=need)
+            targets.update(int(t) for t in picks)
+        for t in targets:
+            src.append(v)
+            dst.append(t)
+            endpoints.extend((v, t))
+    return from_edge_array(
+        n, np.array(src), np.array(dst), 1.0,
+        name=name or f"ba(n={n},m={m_attach})",
+    )
+
+
+def watts_strogatz(
+    n: int, k: int, beta: float, seed: SeedLike = None, name: str | None = None
+) -> CSRGraph:
+    """Watts–Strogatz small world: ring lattice of degree ``k`` with each
+    edge rewired with probability ``beta``."""
+    if k < 2 or k % 2 or k >= n:
+        raise GeneratorParameterError("k must be even, >= 2, and < n")
+    if not (0.0 <= beta <= 1.0):
+        raise GeneratorParameterError("beta must be in [0, 1]")
+    rng = as_generator(seed)
+    base = np.arange(n)
+    srcs, dsts = [], []
+    for hop in range(1, k // 2 + 1):
+        srcs.append(base)
+        dsts.append((base + hop) % n)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    rewire = rng.random(len(src)) < beta
+    # rewire the far endpoint uniformly, rejecting self-loops (parallel
+    # edges are coalesced by the builder, matching the usual WS variant)
+    new_dst = rng.integers(0, n, size=int(rewire.sum()))
+    self_hits = new_dst == src[rewire]
+    while np.any(self_hits):
+        new_dst[self_hits] = rng.integers(0, n, size=int(self_hits.sum()))
+        self_hits = new_dst == src[rewire]
+    dst = dst.copy()
+    dst[rewire] = new_dst
+    return from_edge_array(
+        n, src, dst, 1.0, name=name or f"ws(n={n},k={k},b={beta})"
+    )

@@ -1,0 +1,164 @@
+"""Graph I/O: edge-list text files and a fast NPZ binary format.
+
+The paper's artifact ships ``prepare_graph.sh`` scripts that download SNAP /
+LAW edge lists; our stand-ins are generated, but the loaders are provided so
+a user with the real datasets can feed them straight in.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def load_edge_list(
+    path: PathLike,
+    comments: str = "#",
+    weighted: bool = False,
+    name: str | None = None,
+) -> CSRGraph:
+    """Load a whitespace-separated edge-list file (SNAP style).
+
+    Lines starting with ``comments`` are skipped. Vertex ids may be sparse;
+    they are compacted to ``[0, n)`` preserving numeric order. With
+    ``weighted=True`` a third column is read as the edge weight.
+    """
+    import warnings
+
+    try:
+        cols = 3 if weighted else 2
+        with warnings.catch_warnings():
+            # an all-comments file raises below via the size check; numpy's
+            # "no data" warning would just be noise on top of that
+            warnings.simplefilter("ignore", UserWarning)
+            data = np.loadtxt(path, comments=comments, usecols=range(cols), ndmin=2)
+    except (ValueError, OSError) as exc:
+        raise GraphFormatError(f"cannot parse edge list {path!r}: {exc}") from exc
+    if data.size == 0:
+        raise GraphFormatError(f"edge list {path!r} contains no edges")
+    src_raw = data[:, 0].astype(np.int64)
+    dst_raw = data[:, 1].astype(np.int64)
+    w = data[:, 2] if weighted else None
+    ids = np.union1d(src_raw, dst_raw)
+    src = np.searchsorted(ids, src_raw)
+    dst = np.searchsorted(ids, dst_raw)
+    gname = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return from_edge_array(len(ids), src, dst, w, name=gname)
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike, header: bool = True) -> None:
+    """Write each undirected edge once as ``u v w`` lines."""
+    buf = io.StringIO()
+    if header:
+        buf.write(f"# {graph.name}: n={graph.n} edges={graph.num_edges}\n")
+    for u, v, w in graph.iter_edges():
+        buf.write(f"{u} {v} {w:.10g}\n")
+    with open(path, "w") as fh:
+        fh.write(buf.getvalue())
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Save in the library's binary format (compressed ``.npz``)."""
+    np.savez_compressed(
+        path,
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.weights,
+        self_weight=graph.self_weight,
+        name=np.array(graph.name),
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph saved with :func:`save_npz`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            graph = CSRGraph(
+                indptr=data["indptr"],
+                indices=data["indices"],
+                weights=data["weights"],
+                self_weight=data["self_weight"],
+                name=str(data["name"]),
+            )
+    except (KeyError, OSError, ValueError) as exc:
+        raise GraphFormatError(f"cannot load npz graph {path!r}: {exc}") from exc
+    return graph
+
+
+def load_metis(path: PathLike, name: str | None = None) -> CSRGraph:
+    """Load a METIS-format graph file.
+
+    Header line: ``n m [fmt]`` where fmt 1 means edge weights follow each
+    neighbour id (fmt 0/absent means unweighted; vertex-weight formats are
+    rejected). Vertex ids in the file are 1-based; comment lines start
+    with ``%``.
+    """
+    with open(path) as fh:
+        lines = [ln for ln in fh if not ln.startswith("%")]
+    if not lines:
+        raise GraphFormatError(f"METIS file {path!r} is empty")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"bad METIS header in {path!r}: {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    if fmt not in ("0", "00", "1", "01"):
+        raise GraphFormatError(
+            f"unsupported METIS fmt {fmt!r} (vertex weights not supported)"
+        )
+    weighted = fmt in ("1", "01")
+    if len(lines) - 1 != n:
+        raise GraphFormatError(
+            f"METIS file {path!r} declares {n} vertices but has "
+            f"{len(lines) - 1} adjacency lines"
+        )
+    srcs, dsts, ws = [], [], []
+    for v, line in enumerate(lines[1:]):
+        tokens = line.split()
+        step = 2 if weighted else 1
+        if weighted and len(tokens) % 2:
+            raise GraphFormatError(
+                f"odd token count on weighted METIS line {v + 2}"
+            )
+        for i in range(0, len(tokens), step):
+            u = int(tokens[i]) - 1
+            if not (0 <= u < n):
+                raise GraphFormatError(
+                    f"neighbour id {u + 1} out of range on line {v + 2}"
+                )
+            srcs.append(v)
+            dsts.append(u)
+            ws.append(float(tokens[i + 1]) if weighted else 1.0)
+    gname = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    # METIS lists each undirected edge from both endpoints
+    return from_edge_array(
+        n, np.array(srcs, dtype=np.int64), np.array(dsts, dtype=np.int64),
+        np.array(ws) / 1.0, name=gname, already_symmetric=True,
+    )
+
+
+def save_metis(graph: CSRGraph, path: PathLike, weighted: bool = False) -> None:
+    """Write METIS format (loops are dropped: the format has no loops)."""
+    with open(path, "w") as fh:
+        fh.write(f"% {graph.name}\n")
+        fmt = " 1" if weighted else ""
+        fh.write(f"{graph.n} {graph.num_directed_edges // 2}{fmt}\n")
+        for v in range(graph.n):
+            nbrs = graph.neighbors(v)
+            ws = graph.neighbor_weights(v)
+            if weighted:
+                fh.write(
+                    " ".join(f"{u + 1} {w:.10g}" for u, w in zip(nbrs, ws))
+                    + "\n"
+                )
+            else:
+                fh.write(" ".join(str(u + 1) for u in nbrs) + "\n")

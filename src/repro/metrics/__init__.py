@@ -1,0 +1,34 @@
+"""Quality and prediction metrics.
+
+* :mod:`nmi` — Normalized Mutual Information against ground-truth
+  communities (paper Table 4).
+* :mod:`fnr_fpr` — false-negative / false-positive rates of pruning
+  strategies from oracle-instrumented phase-1 runs (paper Table 1).
+* :mod:`quality` — partition-quality measures beyond modularity
+  (coverage, performance, conductance) used by the examples.
+* :mod:`agreement` — partition-agreement measures beyond NMI (adjusted
+  Rand index, purity, variation of information).
+"""
+
+from repro.metrics.nmi import normalized_mutual_information, contingency_table
+from repro.metrics.fnr_fpr import PruningRates, pruning_rates, average_inactive_rate
+from repro.metrics.quality import coverage, partition_performance, mean_conductance
+from repro.metrics.agreement import (
+    adjusted_rand_index,
+    purity,
+    variation_of_information,
+)
+
+__all__ = [
+    "normalized_mutual_information",
+    "contingency_table",
+    "PruningRates",
+    "pruning_rates",
+    "average_inactive_rate",
+    "coverage",
+    "partition_performance",
+    "mean_conductance",
+    "adjusted_rand_index",
+    "purity",
+    "variation_of_information",
+]

@@ -1,0 +1,90 @@
+"""Partition-agreement measures beyond NMI.
+
+* :func:`adjusted_rand_index` — pair-counting agreement, corrected for
+  chance (Hubert & Arabie); 1 = identical partitions, ~0 = random.
+* :func:`purity` — each detected cluster votes for its dominant
+  ground-truth class; the classic (if biased) clustering accuracy.
+* :func:`variation_of_information` — Meilă's metric distance between
+  partitions (0 = identical; lower is better), in nats.
+
+All are computed from the sparse contingency table shared with the NMI
+implementation, so they scale to large vertex counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.nmi import contingency_table
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    return x * (x - 1) / 2.0
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """ARI in [-1, 1]; 1 for identical partitions, ~0 for independent ones.
+
+    ``ARI = (sum_ij C(n_ij,2) - E) / (max_index - E)`` with the usual
+    hypergeometric expectation ``E``.
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    n = len(a)
+    if n == 0:
+        return 1.0
+    table = contingency_table(a, b)
+    nij = table.tocoo().data
+    row = np.asarray(table.sum(axis=1)).ravel()
+    col = np.asarray(table.sum(axis=0)).ravel()
+    sum_ij = _comb2(nij).sum()
+    sum_a = _comb2(row).sum()
+    sum_b = _comb2(col).sum()
+    total = _comb2(np.array([n]))[0]
+    if total == 0:
+        return 1.0
+    expected = sum_a * sum_b / total
+    max_index = (sum_a + sum_b) / 2.0
+    denom = max_index - expected
+    if denom == 0.0:
+        # both partitions trivial (all-singletons or single cluster)
+        return 1.0 if sum_ij == max_index else 0.0
+    return float((sum_ij - expected) / denom)
+
+
+def purity(labels_pred: np.ndarray, labels_true: np.ndarray) -> float:
+    """Fraction of vertices in their cluster's majority true class.
+
+    Asymmetric: ``purity(pred, true)``. Trivially 1.0 for all-singleton
+    predictions — report it next to ARI/NMI, never alone.
+    """
+    pred = np.asarray(labels_pred)
+    true = np.asarray(labels_true)
+    n = len(pred)
+    if n == 0:
+        return 1.0
+    table = contingency_table(pred, true).tocsr()
+    majorities = table.max(axis=1).toarray().ravel()
+    return float(majorities.sum() / n)
+
+
+def variation_of_information(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> float:
+    """VI(A, B) = H(A) + H(B) - 2 I(A; B), in nats. A true metric on the
+    space of partitions; 0 iff the partitions are identical."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    n = len(a)
+    if n == 0:
+        return 0.0
+    table = contingency_table(a, b).tocoo()
+    pij = table.data / n
+    row = np.asarray(table.tocsr().sum(axis=1)).ravel() / n
+    col = np.asarray(table.tocsr().sum(axis=0)).ravel() / n
+    h_a = float(-(row[row > 0] * np.log(row[row > 0])).sum())
+    h_b = float(-(col[col > 0] * np.log(col[col > 0])).sum())
+    pi = row[table.row]
+    pj = col[table.col]
+    mi = float((pij * np.log(pij / (pi * pj))).sum())
+    return max(0.0, h_a + h_b - 2.0 * mi)

@@ -1,0 +1,23 @@
+"""Small shared utilities: RNG handling, timers, array helpers, logging."""
+
+from repro.utils.rng import as_generator, spawn_children
+from repro.utils.timer import Timer, TimerRegistry
+from repro.utils.arrays import (
+    segment_argmax,
+    segment_max,
+    segment_sum,
+    repeat_by_counts,
+    compact_relabel,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_children",
+    "Timer",
+    "TimerRegistry",
+    "segment_argmax",
+    "segment_max",
+    "segment_sum",
+    "repeat_by_counts",
+    "compact_relabel",
+]

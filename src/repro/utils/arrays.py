@@ -1,0 +1,120 @@
+"""Vectorised segment operations used throughout the phase-1 engine.
+
+The BSP Louvain iteration is, at its core, a sequence of *segmented*
+reductions: sum edge weights per (vertex, community) pair, take the max gain
+per vertex, and so on. NumPy has no first-class segmented API, so this module
+provides the three primitives the engine needs, built on ``np.add.reduceat`` /
+``np.maximum.reduceat`` over sorted, contiguous segments.
+
+All functions take an ``offsets`` array in CSR ``indptr`` convention:
+``offsets`` has ``n_segments + 1`` entries and segment ``i`` covers
+``values[offsets[i]:offsets[i+1]]``. Empty segments are permitted and produce
+the operation's identity (0 for sum, ``fill`` for max/argmax).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_offsets(values: np.ndarray, offsets: np.ndarray) -> None:
+    if offsets.ndim != 1 or offsets.size == 0:
+        raise ValueError("offsets must be a 1-D array with at least one entry")
+    if offsets[0] != 0 or offsets[-1] != len(values):
+        raise ValueError(
+            f"offsets must start at 0 and end at len(values)={len(values)}, "
+            f"got [{offsets[0]}, {offsets[-1]}]"
+        )
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("offsets must be non-decreasing")
+
+
+def segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum of each contiguous segment; empty segments sum to 0."""
+    _check_offsets(values, offsets)
+    n_seg = len(offsets) - 1
+    out = np.zeros(n_seg, dtype=np.result_type(values.dtype, np.float64)
+                   if values.dtype.kind == "f" else values.dtype)
+    if len(values) == 0:
+        return out
+    starts = offsets[:-1]
+    nonempty = offsets[1:] > starts
+    # reduceat misbehaves on empty segments (it returns values[start] and can
+    # read out of bounds for a trailing empty segment), so reduce only the
+    # non-empty ones and scatter back.
+    reduced = np.add.reduceat(values, starts[nonempty])
+    out[nonempty] = reduced
+    return out
+
+
+def segment_max(
+    values: np.ndarray, offsets: np.ndarray, fill: float = -np.inf
+) -> np.ndarray:
+    """Max of each contiguous segment; empty segments get ``fill``."""
+    _check_offsets(values, offsets)
+    n_seg = len(offsets) - 1
+    out = np.full(n_seg, fill, dtype=np.float64)
+    if len(values) == 0:
+        return out
+    starts = offsets[:-1]
+    nonempty = offsets[1:] > starts
+    out[nonempty] = np.maximum.reduceat(values, starts[nonempty])
+    return out
+
+
+def segment_argmax(
+    values: np.ndarray, offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment argmax.
+
+    Returns ``(idx, valid)`` where ``idx[i]`` is the *global* index into
+    ``values`` of the first maximal element of segment ``i`` ("first" in
+    array order, which gives deterministic tie-breaking), and ``valid[i]`` is
+    False for empty segments (whose ``idx`` is meaningless).
+    """
+    _check_offsets(values, offsets)
+    n_seg = len(offsets) - 1
+    seg_of = np.repeat(np.arange(n_seg), np.diff(offsets))
+    valid = offsets[1:] > offsets[:-1]
+    idx = np.zeros(n_seg, dtype=np.int64)
+    if len(values) == 0:
+        return idx, valid
+    maxima = segment_max(values, offsets)
+    is_max = values == maxima[seg_of]
+    # First maximal position per segment: among positions flagged is_max,
+    # take the minimum global index per segment.
+    pos = np.where(is_max, np.arange(len(values)), len(values))
+    first = np.full(n_seg, len(values), dtype=np.int64)
+    np.minimum.at(first, seg_of, pos)
+    idx[valid] = first[valid]
+    return idx, valid
+
+
+def repeat_by_counts(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ranges ``[starts[i], starts[i]+counts[i])``.
+
+    This is the standard trick for gathering the CSR rows of a vertex subset
+    without a Python loop: the result indexes every edge of every selected
+    vertex. Runs in O(total count).
+    """
+    if len(starts) != len(counts):
+        raise ValueError("starts and counts must have equal length")
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_starts = np.repeat(np.asarray(starts, dtype=np.int64), counts)
+    offs = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    within = np.arange(total, dtype=np.int64) - np.repeat(offs, counts)
+    return seg_starts + within
+
+
+def compact_relabel(labels: np.ndarray) -> tuple[np.ndarray, int]:
+    """Relabel arbitrary integer labels to the compact range ``[0, k)``.
+
+    Returns ``(new_labels, k)``. Label order is preserved (the smallest
+    original label maps to 0), which keeps community ids deterministic
+    across the phase-2 contraction.
+    """
+    uniq, inv = np.unique(labels, return_inverse=True)
+    return inv.astype(np.int64), len(uniq)

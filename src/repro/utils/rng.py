@@ -1,0 +1,44 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (graph generators, the PM pruning
+strategy, workload shufflers) accepts a ``seed`` argument that may be an
+``int``, ``None``, or an existing :class:`numpy.random.Generator`. This module
+centralises the conversion so that seeding behaviour is identical everywhere
+and experiments are bit-reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, None, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Passing an existing generator returns it unchanged (no re-seeding), so
+    callers can thread one generator through a pipeline of components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_children(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Used by the multi-GPU runtime so each simulated device gets its own
+    stream, and by generators that need independent streams for independent
+    stochastic stages (degree sampling vs. edge wiring).
+    """
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,85 @@
+"""Wall-clock timing helpers for the two-stage profiling experiments.
+
+The paper's Figure 8 breaks phase-1 runtime into ``DecideAndMove`` vs
+``weight updating`` vs other. :class:`TimerRegistry` accumulates named
+wall-clock buckets across iterations so the phase-1 engine can report the
+same breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    ``total`` is seconds accumulated over all ``measure()`` contexts, and
+    ``count`` the number of measured intervals.
+    """
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.total += time.perf_counter() - start
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per measured interval (0.0 if never measured)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+
+@dataclass
+class TimerRegistry:
+    """A named collection of :class:`Timer` objects.
+
+    Usage::
+
+        timers = TimerRegistry()
+        with timers.measure("decide_and_move"):
+            ...
+        timers.fractions()  # {"decide_and_move": 1.0}
+    """
+
+    timers: Dict[str, Timer] = field(default_factory=dict)
+
+    def get(self, name: str) -> Timer:
+        if name not in self.timers:
+            self.timers[name] = Timer(name)
+        return self.timers[name]
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        with self.get(name).measure():
+            yield
+
+    def totals(self) -> Dict[str, float]:
+        """Seconds accumulated per bucket."""
+        return {name: t.total for name, t in self.timers.items()}
+
+    def fractions(self) -> Dict[str, float]:
+        """Each bucket's share of the grand total (empty registry -> {})."""
+        grand = sum(t.total for t in self.timers.values())
+        if grand <= 0.0:
+            return {name: 0.0 for name in self.timers}
+        return {name: t.total / grand for name, t in self.timers.items()}
+
+    def reset(self) -> None:
+        for t in self.timers.values():
+            t.reset()

@@ -1,0 +1,54 @@
+"""Tests for the batched (nido-style) phase 1."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import run_batched_phase1
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.graph.generators import load_dataset, ring_of_cliques
+
+
+@pytest.fixture(scope="module")
+def lj():
+    return load_dataset("LJ", scale=0.1)
+
+
+class TestBatchedSemantics:
+    def test_one_batch_equals_bsp(self, lj):
+        """num_batches=1 is exactly one BSP sweep per iteration."""
+        bsp = run_phase1(lj, Phase1Config(pruning="none"))
+        batched = run_batched_phase1(lj, num_batches=1)
+        np.testing.assert_array_equal(batched.communities, bsp.communities)
+        assert batched.modularity == pytest.approx(bsp.modularity, abs=1e-12)
+
+    def test_more_batches_fewer_iterations(self, lj):
+        """Fresher state converges in fewer sweeps (nido's rationale)."""
+        it = {
+            nb: run_batched_phase1(lj, num_batches=nb).num_iterations
+            for nb in (1, 8)
+        }
+        assert it[8] < it[1]
+
+    def test_quality_competitive(self, lj):
+        bsp = run_phase1(lj, Phase1Config(pruning="none"))
+        for nb in (2, 4, 8):
+            r = run_batched_phase1(lj, num_batches=nb)
+            assert r.modularity > bsp.modularity - 0.05
+
+    def test_correct_on_known_structure(self):
+        g = ring_of_cliques(8, 5)
+        r = run_batched_phase1(g, num_batches=4)
+        assert len(np.unique(r.communities)) == 8
+
+    def test_history_tracks_best(self, lj):
+        r = run_batched_phase1(lj, num_batches=4)
+        assert r.modularity == pytest.approx(max(r.history), abs=1e-12)
+
+    def test_rejects_bad_batches(self, lj):
+        with pytest.raises(ValueError):
+            run_batched_phase1(lj, num_batches=0)
+
+    def test_resolution_forwarded(self, lj):
+        lo = run_batched_phase1(lj, num_batches=4, resolution=0.3)
+        hi = run_batched_phase1(lj, num_batches=4, resolution=3.0)
+        assert len(np.unique(lo.communities)) < len(np.unique(hi.communities))

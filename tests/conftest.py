@@ -1,0 +1,56 @@
+"""Shared fixtures: small graphs with known structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import (
+    karate_club,
+    lfr_graph,
+    LFRParams,
+    planted_partition,
+    ring_of_cliques,
+    two_triangles,
+)
+
+
+@pytest.fixture
+def triangles():
+    """Two triangles bridged by one edge; optimum = {0,1,2} | {3,4,5}."""
+    return two_triangles()
+
+
+@pytest.fixture
+def karate():
+    return karate_club()
+
+
+@pytest.fixture
+def ring():
+    """8 cliques of 6 in a ring; optimum = one community per clique."""
+    return ring_of_cliques(8, 6)
+
+
+@pytest.fixture
+def planted():
+    """Planted partition with well-separated blocks + ground truth."""
+    return planted_partition(6, 40, p_in=0.4, p_out=0.01, seed=7)
+
+
+@pytest.fixture(scope="session")
+def lfr_small():
+    """A small LFR graph with ground truth (session-scoped: generation is
+    the slow part of these tests)."""
+    return lfr_graph(LFRParams(n=600, mu=0.2, min_degree=5, max_degree=30,
+                               min_community=20, max_community=100, seed=42))
+
+
+@pytest.fixture
+def weighted_graph():
+    """Small weighted graph with a self-loop and parallel-input edges."""
+    src = np.array([0, 0, 1, 2, 2, 3, 3])
+    dst = np.array([1, 1, 2, 3, 2, 4, 0])
+    w = np.array([1.0, 2.0, 1.5, 1.0, 3.0, 2.5, 0.5])
+    return from_edge_array(5, src, dst, w, name="weighted5")

@@ -1,0 +1,125 @@
+"""Corner cases across the core: degenerate graphs, extreme parameters,
+adversarial structures. These fill the gaps between the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.core import GalaConfig, gala, leiden, louvain
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import clique, path_graph, star
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex(self):
+        g = from_edge_array(1, [], [], None)
+        r = gala(g)
+        assert r.num_communities == 1
+        assert r.modularity == 0.0
+
+    def test_single_edge(self):
+        g = from_edge_array(2, [0], [1], 1.0)
+        r = gala(g)
+        assert r.num_communities == 1
+
+    def test_all_isolated(self):
+        g = from_edge_array(5, [], [], None)
+        r = gala(g)
+        assert r.num_communities == 5  # nothing to merge
+        assert r.modularity == 0.0
+
+    def test_only_self_loops(self):
+        g = from_edge_array(3, [0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+        r = run_phase1(g)
+        # loops give no cross-vertex structure: nobody moves
+        np.testing.assert_array_equal(r.communities, np.arange(3))
+
+    def test_two_disconnected_cliques(self):
+        src = [0, 0, 1, 3, 3, 4]
+        dst = [1, 2, 2, 4, 5, 5]
+        g = from_edge_array(6, src, dst, 1.0)
+        r = gala(g)
+        assert r.num_communities == 2
+        assert r.modularity == pytest.approx(0.5)
+
+    def test_multigraph_input_weights_accumulate(self):
+        # the same edge given 5 times competes against a unit edge
+        src = [0] * 5 + [1]
+        dst = [1] * 5 + [2]
+        g = from_edge_array(3, src, dst, 1.0)
+        r = run_phase1(g)
+        assert r.communities[0] == r.communities[1]
+
+
+class TestExtremeParameters:
+    def test_theta_huge_stops_immediately(self, karate):
+        r = run_phase1(karate, Phase1Config(theta=10.0, patience=1))
+        assert r.num_iterations == 1
+
+    def test_theta_zero_still_terminates(self, karate):
+        r = run_phase1(karate, Phase1Config(theta=0.0))
+        assert r.num_iterations < 500
+
+    def test_patience_very_large_survives_limit_cycle(self, karate):
+        """Karate's BSP dynamics enter a persistent move cycle; a large
+        patience must still terminate (via the best-referenced streak, not
+        zero moves) and return the best state seen."""
+        r = run_phase1(karate, Phase1Config(patience=50, max_iterations=200))
+        assert r.num_iterations < 200
+        assert r.modularity == pytest.approx(
+            max(h.modularity for h in r.history), abs=1e-12
+        )
+
+    def test_resolution_extremes(self, karate):
+        lo = gala(karate, GalaConfig(resolution=1e-6))
+        hi = gala(karate, GalaConfig(resolution=50.0))
+        assert lo.num_communities == 1
+        assert hi.num_communities > 10
+
+    def test_max_rounds_one(self, karate):
+        r = louvain(karate, max_rounds=1)
+        assert r.num_levels == 1
+
+
+class TestAdversarialStructures:
+    def test_star_hub(self):
+        """All leaves join the hub; no oscillation."""
+        r = run_phase1(star(100))
+        assert len(np.unique(r.communities)) == 1
+
+    def test_long_path(self):
+        """Paths fragment into short runs; every community is an interval."""
+        g = path_graph(60)
+        r = gala(g)
+        comm = r.communities
+        for c in np.unique(comm):
+            members = np.flatnonzero(comm == c)
+            assert np.all(np.diff(members) == 1), "non-contiguous path community"
+
+    def test_complete_graph_never_splits(self):
+        r = gala(clique(20))
+        assert r.num_communities == 1
+
+    def test_barbell(self):
+        """Two cliques + a long path bridge: cliques must stay intact."""
+        k = 8
+        path_len = 6
+        src, dst = [], []
+        iu, iv = np.triu_indices(k, k=1)
+        for base in (0, k + path_len):
+            src += (iu + base).tolist()
+            dst += (iv + base).tolist()
+        # bridge path from vertex k-1 through the middle to vertex k+path_len
+        chain = [k - 1] + list(range(k, k + path_len)) + [k + path_len]
+        for a, b in zip(chain, chain[1:]):
+            src.append(a)
+            dst.append(b)
+        g = from_edge_array(2 * k + path_len, src, dst, 1.0)
+        r = gala(g)
+        comm = r.communities
+        assert len(np.unique(comm[:k])) == 1
+        assert len(np.unique(comm[k + path_len:])) == 1
+
+    def test_leiden_on_degenerates(self):
+        assert leiden(from_edge_array(1, [], [], None)).num_levels >= 1
+        assert leiden(star(10)).modularity >= 0.0

@@ -1,0 +1,128 @@
+"""Tests for the Leiden-style refinement extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gala
+from repro.core.leiden import (
+    community_connectivity,
+    leiden,
+    refine_partition,
+    split_disconnected_communities,
+)
+from repro.core.modularity import modularity
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import load_dataset, planted_partition, ring_of_cliques
+
+
+class TestRefinePartition:
+    def test_refined_is_finer(self):
+        g = load_dataset("LJ", 0.05)
+        p1 = run_phase1(g, Phase1Config(pruning="mg"))
+        refined = refine_partition(g, p1.communities)
+        for c in np.unique(refined):
+            members = np.flatnonzero(refined == c)
+            assert len(np.unique(p1.communities[members])) == 1
+
+    def test_refined_communities_connected(self):
+        g = load_dataset("LJ", 0.05)
+        p1 = run_phase1(g, Phase1Config(pruning="mg"))
+        refined = refine_partition(g, p1.communities)
+        assert community_connectivity(g, refined).all()
+
+    def test_deterministic_given_seed(self):
+        g = load_dataset("OR", 0.05)
+        p1 = run_phase1(g, Phase1Config(pruning="mg"))
+        a = refine_partition(g, p1.communities, seed=5)
+        b = refine_partition(g, p1.communities, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_randomness_parameter_samples(self):
+        g = load_dataset("OR", 0.05)
+        p1 = run_phase1(g, Phase1Config(pruning="mg"))
+        det = refine_partition(g, p1.communities, seed=1, randomness=0.0)
+        rnd = refine_partition(g, p1.communities, seed=1, randomness=1e-3)
+        # both are valid refinements; they may differ
+        assert community_connectivity(g, rnd).all()
+        assert len(det) == len(rnd) == g.n
+
+    def test_empty_graph(self):
+        g = from_edge_array(3, [], [], None)
+        refined = refine_partition(g, np.zeros(3, dtype=int))
+        np.testing.assert_array_equal(refined, np.arange(3))
+
+
+class TestSplitDisconnected:
+    def test_splits_disconnected_community(self):
+        # two disjoint edges labelled as one community
+        g = from_edge_array(4, [0, 2], [1, 3], 1.0)
+        comm = np.zeros(4, dtype=int)
+        split = split_disconnected_communities(g, comm)
+        assert len(np.unique(split)) == 2
+        assert community_connectivity(g, split).all()
+
+    def test_never_decreases_modularity(self):
+        g = load_dataset("TW", 0.1)
+        result = gala(g)
+        split = split_disconnected_communities(g, result.communities)
+        assert modularity(g, split) >= result.modularity - 1e-12
+
+    def test_noop_on_connected_partition(self):
+        g = ring_of_cliques(5, 4)
+        comm = np.repeat(np.arange(5), 4)
+        split = split_disconnected_communities(g, comm)
+        # same partition up to relabelling
+        _, a = np.unique(comm, return_inverse=True)
+        np.testing.assert_array_equal(split, a)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_q_nondecreasing(self, seed):
+        g, _ = planted_partition(4, 15, 0.3, 0.05, seed=seed % 97)
+        rng = np.random.default_rng(seed)
+        comm = rng.integers(0, 5, g.n)
+        split = split_disconnected_communities(g, comm)
+        assert modularity(g, split) >= modularity(g, comm) - 1e-12
+        assert community_connectivity(g, split).all()
+
+
+class TestLeidenPipeline:
+    def test_ring_exact(self):
+        r = leiden(ring_of_cliques(8, 6))
+        assert len(np.unique(r.communities)) == 8
+        assert r.modularity == pytest.approx(0.8125)
+
+    @pytest.mark.parametrize("abbr", ["LJ", "UK", "TW"])
+    def test_all_communities_connected(self, abbr):
+        """The Leiden guarantee the plain Louvain lacks."""
+        g = load_dataset(abbr, 0.1)
+        r = leiden(g)
+        assert community_connectivity(g, r.communities).all()
+
+    def test_quality_comparable_to_louvain(self):
+        g = load_dataset("LJ", 0.1)
+        lv = gala(g)
+        ld = leiden(g)
+        assert ld.modularity > lv.modularity - 0.03
+
+    def test_reported_q_consistent(self):
+        g = load_dataset("OR", 0.05)
+        r = leiden(g)
+        assert r.modularity == pytest.approx(
+            modularity(g, r.communities), abs=1e-12
+        )
+
+    def test_resolution_respected(self):
+        g = load_dataset("LJ", 0.05)
+        lo = leiden(g, resolution=0.3)
+        hi = leiden(g, resolution=3.0)
+        assert len(np.unique(lo.communities)) < len(np.unique(hi.communities))
+
+    def test_deterministic(self):
+        g = load_dataset("HW", 0.05)
+        a = leiden(g, seed=9)
+        b = leiden(g, seed=9)
+        np.testing.assert_array_equal(a.communities, b.communities)

@@ -1,0 +1,108 @@
+"""Tests for the multi-round Louvain pipeline and the GALA facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import GalaConfig, gala, louvain
+from repro.core.modularity import modularity
+from repro.core.phase1 import Phase1Config, Phase1Result
+from repro.graph.generators import (
+    karate_club,
+    load_dataset,
+    planted_partition,
+    ring_of_cliques,
+)
+
+
+class TestLouvain:
+    def test_ring_recovers_cliques(self, ring):
+        r = louvain(ring)
+        assert r.num_communities == 8
+        expected = np.repeat(np.arange(8), 6)
+        # same partition up to relabelling
+        _, a = np.unique(r.communities, return_inverse=True)
+        _, b = np.unique(expected, return_inverse=True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_final_modularity_consistent(self, karate):
+        r = louvain(karate)
+        assert r.modularity == pytest.approx(
+            modularity(karate, r.communities), abs=1e-12
+        )
+
+    def test_karate_quality(self, karate):
+        r = louvain(karate)
+        # the known optimum is ~0.4198; any sane Louvain exceeds 0.38
+        assert r.modularity > 0.38
+        assert 2 <= r.num_communities <= 6
+
+    def test_hierarchy_levels(self):
+        g = load_dataset("LJ", scale=0.05)
+        r = louvain(g)
+        assert r.num_levels >= 2
+        # graphs must shrink monotonically across rounds
+        ns = [lvl.graph.n for lvl in r.levels]
+        assert all(b < a for a, b in zip(ns, ns[1:]))
+
+    def test_communities_at_level(self):
+        g = load_dataset("LJ", scale=0.05)
+        r = louvain(g)
+        prev_q = -1.0
+        for level in range(r.num_levels):
+            comm = r.communities_at_level(level)
+            assert len(comm) == g.n
+            q = modularity(g, comm)
+            assert q >= prev_q - 1e-9  # refinement improves Q per level
+            prev_q = q
+        np.testing.assert_array_equal(
+            r.communities_at_level(r.num_levels - 1), r.communities
+        )
+
+    def test_communities_at_level_bounds(self, karate):
+        r = louvain(karate)
+        with pytest.raises(IndexError):
+            r.communities_at_level(r.num_levels)
+        with pytest.raises(IndexError):
+            r.communities_at_level(-1)
+
+    def test_planted_partition_recovered(self, planted):
+        g, truth = planted
+        r = louvain(g)
+        from repro.metrics import normalized_mutual_information
+
+        assert normalized_mutual_information(r.communities, truth) > 0.95
+
+    def test_multi_round_beats_single_phase1(self):
+        g = load_dataset("OR", scale=0.05)
+        p1 = gala(g, GalaConfig(phase1_only=True))
+        full = gala(g)
+        assert full.modularity >= p1.modularity - 1e-12
+
+
+class TestGalaFacade:
+    def test_default_is_full_pipeline(self, karate):
+        r = gala(karate)
+        assert hasattr(r, "levels")
+
+    def test_phase1_only(self, karate):
+        r = gala(karate, GalaConfig(phase1_only=True))
+        assert isinstance(r, Phase1Result)
+
+    def test_bad_backend_rejected(self, karate):
+        with pytest.raises(ValueError, match="backend"):
+            gala(karate, GalaConfig(backend="tpu"))
+
+    def test_ablation_flags_reach_phase1(self, karate):
+        cfg = GalaConfig(pruning="none", weight_update="recompute")
+        p1cfg = cfg.phase1_config()
+        assert p1cfg.pruning == "none"
+        assert p1cfg.weight_update == "recompute"
+
+    def test_mg_and_baseline_same_answer(self):
+        """Figure 6's ablation compares runtimes; the results must agree
+        because MG is lossless."""
+        g = load_dataset("UK", scale=0.05)
+        base = gala(g, GalaConfig(pruning="none", weight_update="recompute"))
+        opt = gala(g, GalaConfig())  # MG + delta
+        assert opt.modularity == pytest.approx(base.modularity, abs=1e-12)
+        np.testing.assert_array_equal(opt.communities, base.communities)

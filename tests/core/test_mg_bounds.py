@@ -1,0 +1,75 @@
+"""Tests for the MG bound variants (global vs neighborhood minimum)."""
+
+import numpy as np
+import pytest
+
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.core.pruning.modularity_gain import ModularityGainPruning
+from repro.core.state import CommunityState
+from repro.graph.generators import karate_club, load_dataset
+
+
+class TestNeighborhoodBound:
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="bound"):
+            ModularityGainPruning(bound="psychic")
+
+    def test_neighborhood_prunes_at_least_as_much(self):
+        """The per-vertex neighbourhood minimum dominates the global
+        minimum, so its inactive set must be a superset."""
+        g = load_dataset("LJ", scale=0.1)
+        mid = run_phase1(g, Phase1Config(pruning="none", max_iterations=5))
+        state = mid.state
+        global_inactive = ModularityGainPruning(bound="global").inactive_mask(
+            state, True
+        )
+        nbr_inactive = ModularityGainPruning(bound="neighborhood").inactive_mask(
+            state, True
+        )
+        assert np.all(nbr_inactive | ~global_inactive)  # superset
+        assert nbr_inactive.sum() >= global_inactive.sum()
+
+    def test_neighborhood_bound_still_lossless(self):
+        """Tighter but still sound: zero false negatives."""
+        g = load_dataset("LJ", scale=0.05)
+        base = run_phase1(g, Phase1Config(pruning="none"))
+        nbr = run_phase1(
+            g,
+            Phase1Config(pruning=ModularityGainPruning(bound="neighborhood")),
+        )
+        np.testing.assert_array_equal(nbr.communities, base.communities)
+        assert nbr.modularity == pytest.approx(base.modularity, abs=1e-12)
+
+    def test_oracle_confirms_zero_fn(self):
+        g = load_dataset("OR", scale=0.05)
+        r = run_phase1(
+            g,
+            Phase1Config(
+                pruning=ModularityGainPruning(bound="neighborhood"), oracle=True
+            ),
+        )
+        assert all(h.false_negatives == 0 for h in r.history if h.predicted)
+
+    def test_isolated_vertices_handled(self):
+        from repro.graph.builder import from_edge_array
+
+        g = from_edge_array(5, [0, 1], [1, 2], 1.0)  # vertices 3, 4 isolated
+        state = CommunityState.singletons(g)
+        mask = ModularityGainPruning(bound="neighborhood").inactive_mask(
+            state, True
+        )
+        assert mask[3] and mask[4]  # isolated vertices are trivially inactive
+
+
+class TestSlack:
+    def test_zero_slack_still_sound_on_integral_graphs(self, karate):
+        base = run_phase1(karate, Phase1Config(pruning="none"))
+        mg = run_phase1(
+            karate, Phase1Config(pruning=ModularityGainPruning(slack=0.0))
+        )
+        np.testing.assert_array_equal(mg.communities, base.communities)
+
+    def test_huge_slack_prunes_nothing(self, karate):
+        state = CommunityState.singletons(karate)
+        mask = ModularityGainPruning(slack=1e6).inactive_mask(state, True)
+        assert not mask.any()

@@ -1,0 +1,123 @@
+"""Tests for modularity (Eq. 1) and the gain reference (Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modularity import (
+    community_internal_weights,
+    community_total_strengths,
+    modularity,
+    modularity_gain_matrix,
+)
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import karate_club, ring_of_cliques, two_triangles
+
+
+def nx_modularity(graph, communities):
+    import networkx as nx
+
+    parts = [
+        set(np.flatnonzero(communities == c)) for c in np.unique(communities)
+    ]
+    return nx.algorithms.community.modularity(graph.to_networkx(), parts)
+
+
+class TestModularityValues:
+    def test_two_triangles_optimum(self, triangles):
+        q = modularity(triangles, np.array([0, 0, 0, 1, 1, 1]))
+        # D_C = 6 each, D_V = 7 each, 2|E| = 14
+        expected = 2 * (6 / 14 - (7 / 14) ** 2)
+        assert q == pytest.approx(expected)
+
+    def test_singletons_negative(self, triangles):
+        q = modularity(triangles, np.arange(6))
+        assert q < 0.0
+
+    def test_all_in_one_community_zero(self, triangles):
+        assert modularity(triangles, np.zeros(6, dtype=int)) == pytest.approx(0.0)
+
+    def test_matches_networkx_karate(self, karate):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            comm = rng.integers(0, 4, size=karate.n)
+            assert modularity(karate, comm) == pytest.approx(
+                nx_modularity(karate, comm), rel=1e-10
+            )
+
+    def test_matches_networkx_weighted(self, weighted_graph):
+        comm = np.array([0, 0, 1, 1, 0])
+        assert modularity(weighted_graph, comm) == pytest.approx(
+            nx_modularity(weighted_graph, comm), rel=1e-10
+        )
+
+    def test_empty_graph(self):
+        g = from_edge_array(3, [], [], None)
+        assert modularity(g, np.zeros(3, dtype=int)) == 0.0
+
+    def test_self_loop_contributes(self):
+        g = from_edge_array(2, [0, 1], [1, 1], [1.0, 3.0])
+        # one community: Q = 0 always
+        assert modularity(g, np.array([0, 0])) == pytest.approx(0.0)
+        # separate: loop at vertex 1 counts in its community's D_C
+        q = modularity(g, np.array([0, 1]))
+        # D_C(C0)=0, D_C(C1)=6; D_V(C0)=1, D_V(C1)=7; 2|E|=8
+        assert q == pytest.approx(0 / 8 - (1 / 8) ** 2 + 6 / 8 - (7 / 8) ** 2)
+
+
+class TestAggregates:
+    def test_internal_weights(self, triangles):
+        internal = community_internal_weights(
+            triangles, np.array([0, 0, 0, 1, 1, 1])
+        )
+        np.testing.assert_allclose(internal, [6.0, 6.0])
+
+    def test_total_strengths(self, triangles):
+        totals = community_total_strengths(
+            triangles, np.array([0, 0, 0, 1, 1, 1])
+        )
+        np.testing.assert_allclose(totals, [7.0, 7.0])
+
+    def test_sum_identity(self, karate):
+        comm = np.random.default_rng(1).integers(0, 5, karate.n)
+        totals = community_total_strengths(karate, comm)
+        assert totals.sum() == pytest.approx(karate.two_m)
+
+
+class TestGainReference:
+    def test_gain_predicts_modularity_change(self, karate):
+        """Applying a single move must change Q by exactly the gain
+        difference (move gain - stay gain)."""
+        rng = np.random.default_rng(2)
+        comm = rng.integers(0, 6, karate.n)
+        gains = modularity_gain_matrix(karate, comm, remove_self=True)
+        q0 = modularity(karate, comm)
+        for v in [0, 5, 33]:
+            cv = comm[v]
+            for c, gain in gains[v].items():
+                if c == cv:
+                    continue
+                moved = comm.copy()
+                moved[v] = c
+                delta = modularity(karate, moved) - q0
+                expected = gain - gains[v][cv]
+                assert delta == pytest.approx(expected, abs=1e-12), (v, c)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_gain_consistency_random_partitions(self, seed):
+        g = two_triangles()
+        rng = np.random.default_rng(seed)
+        comm = rng.integers(0, 3, g.n)
+        gains = modularity_gain_matrix(g, comm, remove_self=True)
+        q0 = modularity(g, comm)
+        for v in range(g.n):
+            cv = int(comm[v])
+            for c, gain in gains[v].items():
+                moved = comm.copy()
+                moved[v] = c
+                delta = modularity(g, moved) - q0
+                assert delta == pytest.approx(
+                    gain - gains[v][cv], abs=1e-12
+                )

@@ -1,0 +1,99 @@
+"""Tests for the resolution parameter (generalised modularity)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GalaConfig, gala
+from repro.core.kernels.vectorized import decide_moves
+from repro.core.modularity import modularity, modularity_gain_matrix
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.core.state import CommunityState
+from repro.graph.generators import karate_club, load_dataset, ring_of_cliques
+
+
+class TestModularityResolution:
+    def test_gamma_one_is_default(self, karate):
+        comm = np.random.default_rng(0).integers(0, 4, karate.n)
+        assert modularity(karate, comm) == modularity(karate, comm, resolution=1.0)
+
+    def test_gamma_scales_null_term(self, karate):
+        comm = np.random.default_rng(1).integers(0, 4, karate.n)
+        q1 = modularity(karate, comm, resolution=1.0)
+        q2 = modularity(karate, comm, resolution=2.0)
+        q0 = modularity(karate, comm, resolution=0.0)
+        # Q(gamma) is linear in gamma: Q(2) - Q(1) == Q(1) - Q(0)
+        assert q2 - q1 == pytest.approx(q1 - q0, abs=1e-12)
+
+    def test_gamma_zero_is_internal_fraction(self, triangles):
+        # with gamma=0, Q reduces to sum_C D_C(C)/2|E| — the internal
+        # weight fraction with each intra edge counted from both endpoints
+        comm = np.array([0, 0, 0, 1, 1, 1])
+        assert modularity(triangles, comm, resolution=0.0) == pytest.approx(12 / 14)
+
+    def test_gain_predicts_change_at_gamma(self, karate):
+        rng = np.random.default_rng(2)
+        comm = rng.integers(0, 5, karate.n)
+        gamma = 1.7
+        gains = modularity_gain_matrix(
+            karate, comm, remove_self=True, resolution=gamma
+        )
+        q0 = modularity(karate, comm, resolution=gamma)
+        for v in [0, 10, 33]:
+            cv = int(comm[v])
+            for c, gain in gains[v].items():
+                if c == cv:
+                    continue
+                moved = comm.copy()
+                moved[v] = c
+                delta = modularity(karate, moved, resolution=gamma) - q0
+                assert delta == pytest.approx(gain - gains[v][cv], abs=1e-12)
+
+
+class TestEngineResolution:
+    def test_kernel_matches_reference_at_gamma(self, karate):
+        rng = np.random.default_rng(3)
+        comm = rng.integers(0, 6, karate.n)
+        gamma = 2.5
+        state = CommunityState.from_assignment(karate, comm, resolution=gamma)
+        result = decide_moves(state, np.arange(karate.n))
+        gains = modularity_gain_matrix(
+            karate, comm, remove_self=True, resolution=gamma
+        )
+        for i, v in enumerate(range(karate.n)):
+            assert result.stay_gain[i] == pytest.approx(
+                gains[v][int(comm[v])], abs=1e-12
+            )
+
+    def test_higher_gamma_more_communities(self):
+        g = load_dataset("LJ", scale=0.1)
+        low = gala(g, GalaConfig(resolution=0.3))
+        mid = gala(g, GalaConfig(resolution=1.0))
+        high = gala(g, GalaConfig(resolution=4.0))
+        assert low.num_communities <= mid.num_communities <= high.num_communities
+        assert low.num_communities < high.num_communities
+
+    def test_ring_merges_at_low_gamma(self):
+        """The classic resolution-limit illustration: at low gamma,
+        adjacent cliques merge; at gamma=1 they stay separate."""
+        g = ring_of_cliques(12, 4)
+        normal = gala(g, GalaConfig(resolution=1.0))
+        coarse = gala(g, GalaConfig(resolution=0.05))
+        assert normal.num_communities == 12
+        assert coarse.num_communities < 12
+
+    def test_mg_lossless_at_any_gamma(self):
+        """Theorem 6 must survive the generalisation: MG at gamma != 1
+        still reproduces the unpruned trajectory exactly."""
+        g = load_dataset("UK", scale=0.05)
+        for gamma in [0.5, 1.0, 2.0]:
+            base = run_phase1(g, Phase1Config(pruning="none", resolution=gamma))
+            mg = run_phase1(g, Phase1Config(pruning="mg", resolution=gamma))
+            np.testing.assert_array_equal(mg.communities, base.communities)
+
+    def test_reported_q_uses_gamma(self):
+        g = load_dataset("LJ", scale=0.05)
+        gamma = 1.5
+        r = run_phase1(g, Phase1Config(resolution=gamma))
+        assert r.modularity == pytest.approx(
+            modularity(g, r.communities, resolution=gamma), abs=1e-12
+        )

@@ -1,0 +1,86 @@
+"""Tests for device config and atomic-operation simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.atomics import atomic_add, atomic_cas_claim
+from repro.gpusim.costmodel import MemoryKind
+from repro.gpusim.device import Device, DeviceConfig
+
+
+class TestDeviceConfig:
+    def test_shared_bucket_budget(self):
+        cfg = DeviceConfig(shared_mem_per_block=1024, bucket_bytes=16)
+        assert cfg.max_shared_buckets() == 64
+
+    def test_block_validation(self):
+        cfg = DeviceConfig()
+        cfg.validate_block(128)
+        cfg.validate_block(4)  # sub-warp blocks allowed
+        with pytest.raises(DeviceError):
+            cfg.validate_block(0)
+        with pytest.raises(DeviceError):
+            cfg.validate_block(cfg.max_threads_per_block + 1)
+        with pytest.raises(DeviceError):
+            cfg.validate_block(100)  # not a warp multiple
+
+    def test_cycles_to_seconds(self):
+        dev = Device()
+        assert dev.cycles_to_seconds(dev.config.clock_hz) == pytest.approx(1.0)
+
+    def test_reset(self):
+        dev = Device()
+        dev.profiler.charge("x", 5.0)
+        dev.reset()
+        assert dev.simulated_seconds == 0.0
+
+
+class TestAtomicAdd:
+    def test_functional(self):
+        dev = Device()
+        arr = np.zeros(4)
+        atomic_add(dev, arr, np.array([1, 1, 3]), np.array([1.0, 2.0, 5.0]),
+                   MemoryKind.SHARED)
+        np.testing.assert_allclose(arr, [0, 3, 0, 5])
+
+    def test_conflicts_cost_more(self):
+        dev_conflict, dev_spread = Device(), Device()
+        arr = np.zeros(8)
+        atomic_add(dev_conflict, arr, np.zeros(8, dtype=int), np.ones(8),
+                   MemoryKind.GLOBAL)
+        atomic_add(dev_spread, arr, np.arange(8), np.ones(8),
+                   MemoryKind.GLOBAL)
+        assert (
+            dev_conflict.profiler.total_cycles
+            > dev_spread.profiler.total_cycles
+        )
+
+    def test_empty_noop(self):
+        dev = Device()
+        arr = np.zeros(2)
+        atomic_add(dev, arr, np.array([], dtype=int), np.array([]),
+                   MemoryKind.SHARED)
+        assert dev.profiler.total_cycles == 0.0
+
+
+class TestAtomicCas:
+    def test_claims_and_conflicts(self):
+        dev = Device()
+        slots = np.full(4, -1, dtype=np.int64)
+        observed = atomic_cas_claim(
+            dev, slots, np.array([0, 0, 2]), np.array([7, 8, 9]), -1,
+            MemoryKind.SHARED,
+        )
+        # lane 0 wins slot 0; lane 1 sees lane 0's key; lane 2 wins slot 2
+        np.testing.assert_array_equal(observed, [-1, 7, -1])
+        np.testing.assert_array_equal(slots, [7, -1, 9, -1])
+
+    def test_existing_key_observed(self):
+        dev = Device()
+        slots = np.array([5, -1], dtype=np.int64)
+        observed = atomic_cas_claim(
+            dev, slots, np.array([0]), np.array([5]), -1, MemoryKind.GLOBAL
+        )
+        assert observed[0] == 5
+        assert slots[0] == 5

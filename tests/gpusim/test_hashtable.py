@@ -1,0 +1,142 @@
+"""Tests for the three simulated hashtable designs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HashTableFullError
+from repro.gpusim.device import Device
+from repro.gpusim.hashtable import (
+    GlobalOnlyHashTable,
+    HierarchicalHashTable,
+    UnifiedHashTable,
+    make_table,
+)
+
+ALL_KINDS = ["global", "unified", "hierarchical"]
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_accumulates_by_key(self, kind):
+        t = make_table(kind, Device(), 8, 64)
+        t.accumulate(5, 1.0)
+        t.accumulate(9, 2.0)
+        t.accumulate(5, 3.0)
+        keys, vals = t.items()
+        got = dict(zip(keys.tolist(), vals.tolist()))
+        assert got == {5: 4.0, 9: 2.0}
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_lookup(self, kind):
+        t = make_table(kind, Device(), 8, 64)
+        t.accumulate(3, 1.5)
+        assert t.lookup(3) == 1.5
+        assert t.lookup(99) is None
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @given(st.lists(st.tuples(st.integers(0, 40), st.floats(0.5, 5.0)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dict(self, kind, ops):
+        t = make_table(kind, Device(), 16, 256)
+        expected: dict[int, float] = {}
+        for k, v in ops:
+            t.accumulate(k, v)
+            expected[k] = expected.get(k, 0.0) + v
+        keys, vals = t.items()
+        got = dict(zip(keys.tolist(), vals.tolist()))
+        assert set(got) == set(expected)
+        for k in expected:
+            assert got[k] == pytest.approx(expected[k])
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_reset(self, kind):
+        t = make_table(kind, Device(), 8, 32)
+        t.accumulate(1, 1.0)
+        t.reset()
+        assert t.num_entries == 0
+        assert t.lookup(1) is None
+        assert t.maintenance_rate() == 0.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_table("quantum", Device(), 8, 8)
+
+    def test_overfull_raises(self):
+        t = GlobalOnlyHashTable(Device(), 0, 4)
+        for k in range(4):
+            t.accumulate(k, 1.0)
+        with pytest.raises(HashTableFullError):
+            t.accumulate(99, 1.0)
+
+    def test_shared_budget_enforced(self):
+        dev = Device()
+        too_many = dev.config.max_shared_buckets() + 1
+        with pytest.raises(HashTableFullError):
+            HierarchicalHashTable(dev, too_many, 8)
+
+
+class TestPlacementSemantics:
+    def test_global_only_never_uses_shared(self):
+        t = GlobalOnlyHashTable(Device(), 8, 64)
+        for k in range(20):
+            t.accumulate(k, 1.0)
+        assert t.maintained_shared == 0
+        assert t.maintenance_rate() == 0.0
+        assert t.access_rate() == 0.0
+
+    def test_hierarchical_prefers_shared(self):
+        t = HierarchicalHashTable(Device(), 64, 64)
+        for k in range(10):  # few keys, big shared table: all land shared
+            t.accumulate(k * 101, 1.0)
+        assert t.maintenance_rate() > 0.8
+
+    def test_hierarchical_spills_on_collision(self):
+        t = HierarchicalHashTable(Device(), 1, 16)
+        t.accumulate(1, 1.0)  # takes the single shared bucket
+        t.accumulate(2, 1.0)  # must spill to global
+        assert t.maintained_shared == 1
+        assert t.maintained_global == 1
+
+    def test_unified_splits_by_hash(self):
+        # with s == g, roughly half the keys should land in shared
+        t = UnifiedHashTable(Device(), 128, 128)
+        for k in range(64):
+            t.accumulate(k * 7 + 1, 1.0)
+        rate = t.maintenance_rate()
+        assert 0.25 < rate < 0.75
+
+    def test_hierarchical_beats_unified_on_small_key_sets(self):
+        """The paper's Figure 4 claim: with few communities, hierarchical
+        keeps (almost) all of them in shared memory; unified keeps only
+        s/(s+g) of them."""
+        keys = [k * 13 + 5 for k in range(24)]
+        h = HierarchicalHashTable(Device(), 64, 1024)
+        u = UnifiedHashTable(Device(), 64, 1024)
+        for k in keys:
+            h.accumulate(k, 1.0)
+            u.accumulate(k, 1.0)
+        assert h.maintenance_rate() > u.maintenance_rate() + 0.3
+
+
+class TestCostAccounting:
+    def test_cost_ordering_matches_design(self):
+        """hierarchical <= unified <= global-only in charged cycles for the
+        same key stream (Figure 9(b)'s ordering)."""
+        keys = [(k * 17) % 30 for k in range(200)]
+        cycles = {}
+        for kind in ALL_KINDS:
+            dev = Device()
+            t = make_table(kind, dev, 64, 512)
+            for k in keys:
+                t.accumulate(k, 1.0)
+            cycles[kind] = dev.profiler.total_cycles
+        assert cycles["hierarchical"] < cycles["unified"] < cycles["global"]
+
+    def test_probe_counters(self):
+        dev = Device()
+        t = HierarchicalHashTable(dev, 64, 64)
+        t.accumulate(1, 1.0)
+        assert dev.profiler.counters["shared_probes"] >= 1

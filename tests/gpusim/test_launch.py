@@ -1,0 +1,82 @@
+"""Tests for launch planning and occupancy."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.device import Device, DeviceConfig
+from repro.gpusim.launch import (
+    LaunchPlan,
+    effective_parallelism,
+    occupancy,
+    parallel_seconds,
+    plan_block_per_vertex,
+    plan_warp_per_vertex,
+)
+
+
+class TestPlans:
+    def test_warp_per_vertex_counts(self):
+        cfg = DeviceConfig()
+        plan = plan_warp_per_vertex(1000, cfg, threads_per_block=256)
+        assert plan.group == "warp"
+        # 8 warps per 256-thread block -> ceil(1000/8) blocks
+        assert plan.num_blocks == 125
+        assert plan.warps_per_block(cfg) == 8
+
+    def test_block_per_vertex_counts(self):
+        cfg = DeviceConfig()
+        plan = plan_block_per_vertex(37, cfg)
+        assert plan.num_blocks == 37
+        assert plan.group == "block"
+
+    def test_zero_vertices_still_one_block(self):
+        cfg = DeviceConfig()
+        assert plan_warp_per_vertex(0, cfg).num_blocks == 1
+        assert plan_block_per_vertex(0, cfg).num_blocks == 1
+
+    def test_invalid_block_size(self):
+        cfg = DeviceConfig()
+        with pytest.raises(DeviceError):
+            plan_warp_per_vertex(10, cfg, threads_per_block=2000)
+
+
+class TestOccupancy:
+    def test_tiny_launch_low_occupancy(self):
+        cfg = DeviceConfig()
+        plan = plan_warp_per_vertex(8, cfg)  # one block
+        assert occupancy(plan, cfg) < 0.01
+
+    def test_huge_launch_full_occupancy(self):
+        cfg = DeviceConfig()
+        plan = plan_warp_per_vertex(10_000_000, cfg)
+        assert occupancy(plan, cfg) == pytest.approx(1.0)
+
+    def test_occupancy_in_unit_interval(self):
+        cfg = DeviceConfig()
+        for n in [1, 100, 10_000, 1_000_000]:
+            for planner in (plan_warp_per_vertex, plan_block_per_vertex):
+                assert 0.0 < occupancy(planner(n, cfg), cfg) <= 1.0
+
+    def test_effective_parallelism_at_least_one(self):
+        cfg = DeviceConfig()
+        assert effective_parallelism(plan_block_per_vertex(1, cfg), cfg) >= 1.0
+
+
+class TestParallelSeconds:
+    def test_parallelism_shrinks_time(self):
+        dev = Device()
+        small = plan_warp_per_vertex(8, dev.config)
+        big = plan_warp_per_vertex(1_000_000, dev.config)
+        cycles = 1e9
+        assert parallel_seconds(dev, cycles, big) < parallel_seconds(
+            dev, cycles, small
+        )
+
+    def test_never_faster_than_full_device(self):
+        dev = Device()
+        plan = plan_warp_per_vertex(10**8, dev.config)
+        cycles = 1e9
+        floor = dev.cycles_to_seconds(cycles) / (
+            64 * dev.config.num_sms
+        )
+        assert parallel_seconds(dev, cycles, plan) >= floor - 1e-15

@@ -1,0 +1,99 @@
+"""Tests for phase-2 graph contraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modularity import modularity
+from repro.graph.builder import from_edge_array
+from repro.graph.coarsen import coarsen_graph, project_communities
+from repro.graph.generators import planted_partition, ring_of_cliques
+
+
+class TestCoarsenBasics:
+    def test_two_triangles(self, triangles):
+        coarse, mapping = coarsen_graph(triangles, np.array([0, 0, 0, 1, 1, 1]))
+        coarse.validate()
+        assert coarse.n == 2
+        # three intra edges per triangle become a self-loop of weight 3
+        np.testing.assert_allclose(coarse.self_weight, [3.0, 3.0])
+        # one bridge edge remains
+        assert coarse.num_directed_edges == 2
+        np.testing.assert_allclose(coarse.weights, [1.0, 1.0])
+
+    def test_total_weight_preserved(self, triangles):
+        coarse, _ = coarsen_graph(triangles, np.array([0, 0, 0, 1, 1, 1]))
+        assert coarse.total_weight == pytest.approx(triangles.total_weight)
+        assert coarse.two_m == pytest.approx(triangles.two_m)
+
+    def test_noncompact_ids_are_compacted(self, triangles):
+        coarse, mapping = coarsen_graph(triangles, np.array([5, 5, 5, 9, 9, 9]))
+        assert coarse.n == 2
+        np.testing.assert_array_equal(mapping, [0, 0, 0, 1, 1, 1])
+
+    def test_fine_self_loops_carry_over(self):
+        g = from_edge_array(3, [0, 1, 1], [1, 2, 1], [1.0, 1.0, 2.0])
+        coarse, _ = coarsen_graph(g, np.array([0, 0, 1]))
+        # community 0 = {0,1}: intra edge w=1 -> loop 1; fine loop at 1
+        # (w=2) carries over -> total loop weight 3
+        assert coarse.self_weight[0] == pytest.approx(3.0)
+        assert coarse.two_m == pytest.approx(g.two_m)
+
+    def test_singletons_identity(self, triangles):
+        coarse, mapping = coarsen_graph(triangles, np.arange(triangles.n))
+        assert coarse.n == triangles.n
+        assert coarse.two_m == pytest.approx(triangles.two_m)
+        np.testing.assert_array_equal(mapping, np.arange(triangles.n))
+
+    def test_rejects_wrong_length(self, triangles):
+        with pytest.raises(ValueError):
+            coarsen_graph(triangles, np.array([0, 1]))
+
+
+class TestModularityInvariance:
+    """The key phase-2 invariant: Q is preserved under contraction."""
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(6, 5)
+        comm = np.repeat(np.arange(6), 5)
+        q_fine = modularity(g, comm)
+        coarse, mapping = coarsen_graph(g, comm)
+        # each super-vertex its own community
+        q_coarse = modularity(coarse, np.arange(coarse.n))
+        assert q_coarse == pytest.approx(q_fine, rel=1e-12)
+
+    def test_planted_partition(self):
+        g, truth = planted_partition(5, 30, 0.4, 0.02, seed=3)
+        q_fine = modularity(g, truth)
+        coarse, mapping = coarsen_graph(g, truth)
+        q_coarse = modularity(coarse, np.arange(coarse.n))
+        assert q_coarse == pytest.approx(q_fine, rel=1e-12)
+
+    @given(st.lists(st.integers(0, 3), min_size=6, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_any_partition_of_triangles(self, labels):
+        from repro.graph.generators import two_triangles
+
+        g = two_triangles()
+        comm = np.array(labels)
+        coarse, mapping = coarsen_graph(g, comm)
+        q_fine = modularity(g, comm)
+        q_coarse = modularity(coarse, np.arange(coarse.n))
+        assert q_coarse == pytest.approx(q_fine, rel=1e-9, abs=1e-12)
+
+
+class TestProjectCommunities:
+    def test_roundtrip(self, triangles):
+        comm = np.array([0, 0, 0, 1, 1, 1])
+        coarse, mapping = coarsen_graph(triangles, comm)
+        coarse_comm = np.array([0, 0])  # merge the two super-vertices
+        fine = project_communities(mapping, coarse_comm)
+        assert len(np.unique(fine)) == 1
+
+    def test_identity_projection(self, triangles):
+        comm = np.array([0, 0, 1, 1, 2, 2])
+        coarse, mapping = coarsen_graph(triangles, comm)
+        fine = project_communities(mapping, np.arange(coarse.n))
+        # projecting each super-vertex to itself recovers the partition
+        np.testing.assert_array_equal(fine, mapping)

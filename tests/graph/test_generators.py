@@ -1,0 +1,209 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorParameterError
+from repro.graph.generators import (
+    clique,
+    dataset_names,
+    karate_club,
+    lfr_graph,
+    LFRParams,
+    load_dataset,
+    path_graph,
+    planted_partition,
+    ring_of_cliques,
+    rmat_graph,
+    star,
+    stochastic_block_model,
+    two_triangles,
+)
+
+
+class TestClassic:
+    def test_clique(self):
+        g = clique(5)
+        g.validate()
+        assert g.n == 5 and g.num_edges == 10
+        assert np.all(g.degrees() == 4)
+
+    def test_clique_rejects_zero(self):
+        with pytest.raises(GeneratorParameterError):
+            clique(0)
+
+    def test_ring_of_cliques_structure(self):
+        g = ring_of_cliques(4, 3)
+        g.validate()
+        assert g.n == 12
+        # 4 cliques * 3 edges + 4 bridges
+        assert g.num_edges == 4 * 3 + 4
+
+    def test_ring_rejects_small(self):
+        with pytest.raises(GeneratorParameterError):
+            ring_of_cliques(2, 3)
+        with pytest.raises(GeneratorParameterError):
+            ring_of_cliques(3, 1)
+
+    def test_karate(self):
+        g = karate_club()
+        g.validate()
+        assert g.n == 34 and g.num_edges == 78
+        # canonical degrees of vertices 0 and 33
+        assert g.degrees()[0] == 16 and g.degrees()[33] == 17
+
+    def test_star_and_path(self):
+        s = star(6)
+        s.validate()
+        assert s.degrees()[0] == 6
+        p = path_graph(5)
+        p.validate()
+        assert p.num_edges == 4
+
+    def test_two_triangles_bridge_weight(self):
+        g = two_triangles(bridge_weight=0.25)
+        assert g.total_weight == pytest.approx(6.25)
+
+
+class TestSBM:
+    def test_planted_partition_shapes(self):
+        g, truth = planted_partition(4, 25, 0.5, 0.01, seed=0)
+        g.validate()
+        assert g.n == 100
+        assert len(truth) == 100
+        np.testing.assert_array_equal(np.bincount(truth), [25] * 4)
+
+    def test_blocks_denser_inside(self):
+        g, truth = planted_partition(4, 50, 0.4, 0.01, seed=1)
+        row = np.repeat(np.arange(g.n), np.diff(g.indptr))
+        intra = (truth[row] == truth[g.indices]).mean()
+        assert intra > 0.7  # most weight inside blocks
+
+    def test_deterministic(self):
+        g1, _ = planted_partition(3, 20, 0.3, 0.05, seed=9)
+        g2, _ = planted_partition(3, 20, 0.3, 0.05, seed=9)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(GeneratorParameterError):
+            stochastic_block_model([10, 10], np.array([[0.5, 0.1]]))
+        with pytest.raises(GeneratorParameterError):
+            stochastic_block_model(
+                [10, 10], np.array([[0.5, 0.1], [0.2, 0.5]])
+            )
+        with pytest.raises(GeneratorParameterError):
+            stochastic_block_model(
+                [10, 10], np.array([[1.5, 0.1], [0.1, 0.5]])
+            )
+
+    def test_zero_probability_empty(self):
+        g, _ = stochastic_block_model([5, 5], np.zeros((2, 2)), seed=0)
+        assert g.num_edges == 0
+
+
+class TestRMAT:
+    def test_shapes_and_validity(self):
+        g = rmat_graph(8, edge_factor=8, seed=0)
+        g.validate()
+        assert g.n == 256
+        assert g.num_edges > 0
+
+    def test_deterministic(self):
+        a = rmat_graph(8, seed=3)
+        b = rmat_graph(8, seed=3)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_degree_skew(self):
+        g = rmat_graph(11, edge_factor=16, seed=1)
+        deg = g.degrees()
+        # power-law-ish: max degree far above mean
+        assert deg.max() > 5 * deg.mean()
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(GeneratorParameterError):
+            rmat_graph(0)
+        with pytest.raises(GeneratorParameterError):
+            rmat_graph(31)
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(GeneratorParameterError):
+            rmat_graph(5, a=0.9, b=0.2, c=0.2)
+
+
+class TestLFR:
+    def test_basic_generation(self, lfr_small):
+        g, truth = lfr_small
+        g.validate()
+        assert g.n == 600
+        assert len(np.unique(truth)) >= 2
+        sizes = np.bincount(truth)
+        assert sizes[sizes > 0].min() >= 20
+
+    def test_mixing_parameter_respected(self, lfr_small):
+        g, truth = lfr_small
+        row = np.repeat(np.arange(g.n), np.diff(g.indptr))
+        intra_frac = (truth[row] == truth[g.indices]).mean()
+        # mu = 0.2 -> ~80% of edge endpoints intra-community
+        assert 0.7 < intra_frac < 0.9
+
+    def test_degrees_near_targets(self, lfr_small):
+        g, _ = lfr_small
+        deg = g.degrees()
+        assert deg.mean() >= 4.0  # min_degree=5, minus small stub loss
+        assert deg.max() <= 35
+
+    def test_deterministic(self):
+        p = LFRParams(n=300, mu=0.3, min_community=20, max_community=80, seed=5)
+        g1, t1 = lfr_graph(p)
+        g2, t2 = lfr_graph(p)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_mu_changes_structure(self):
+        lo = LFRParams(n=400, mu=0.1, min_community=20, max_community=100, seed=1)
+        hi = LFRParams(n=400, mu=0.6, min_community=20, max_community=100, seed=1)
+        g_lo, t_lo = lfr_graph(lo)
+        g_hi, t_hi = lfr_graph(hi)
+
+        def intra(g, t):
+            row = np.repeat(np.arange(g.n), np.diff(g.indptr))
+            return (t[row] == t[g.indices]).mean()
+
+        assert intra(g_lo, t_lo) > intra(g_hi, t_hi) + 0.2
+
+    def test_parameter_validation(self):
+        with pytest.raises(GeneratorParameterError):
+            LFRParams(n=100, mu=1.5).validate()
+        with pytest.raises(GeneratorParameterError):
+            LFRParams(n=100, tau1=0.5).validate()
+        with pytest.raises(GeneratorParameterError):
+            LFRParams(n=100, min_degree=50, max_degree=10).validate()
+        with pytest.raises(GeneratorParameterError):
+            # (1-mu)*max_degree > max_community - 1 is infeasible
+            LFRParams(
+                n=100, mu=0.0, max_degree=60, min_community=10,
+                max_community=20,
+            ).validate()
+
+
+class TestDatasets:
+    def test_names(self):
+        assert dataset_names() == ["FR", "LJ", "OR", "TW", "UK", "EW", "HW"]
+
+    def test_unknown_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            load_dataset("XX")
+
+    @pytest.mark.parametrize("abbr", ["LJ", "TW", "UK"])
+    def test_small_scale_builds(self, abbr):
+        g = load_dataset(abbr, scale=0.05)
+        g.validate()
+        assert g.name == abbr
+        assert g.n >= 200
+
+    def test_memoised(self):
+        a = load_dataset("LJ", scale=0.05)
+        b = load_dataset("LJ", scale=0.05)
+        assert a is b

@@ -1,0 +1,129 @@
+"""Tests for graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeListRoundtrip:
+    def test_roundtrip(self, karate, tmp_path):
+        path = tmp_path / "karate.txt"
+        save_edge_list(karate, path)
+        back = load_edge_list(path)
+        assert back.n == karate.n
+        assert back.num_edges == karate.num_edges
+        np.testing.assert_array_equal(back.indptr, karate.indptr)
+
+    def test_weighted_roundtrip(self, weighted_graph, tmp_path):
+        path = tmp_path / "w.txt"
+        save_edge_list(weighted_graph, path)
+        back = load_edge_list(path, weighted=True)
+        assert back.total_weight == pytest.approx(weighted_graph.total_weight)
+
+    def test_sparse_ids_compacted(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("# comment line\n100 200\n200 300\n")
+        g = load_edge_list(path)
+        assert g.n == 3
+        assert g.num_edges == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_edge_list(tmp_path / "nope.txt")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("hello world this is not numbers\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n")
+        with pytest.raises(GraphFormatError, match="no edges"):
+            load_edge_list(path)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_exact(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(weighted_graph, path)
+        back = load_npz(path)
+        back.validate()
+        assert back.name == weighted_graph.name
+        np.testing.assert_array_equal(back.indptr, weighted_graph.indptr)
+        np.testing.assert_array_equal(back.indices, weighted_graph.indices)
+        np.testing.assert_allclose(back.weights, weighted_graph.weights)
+        np.testing.assert_allclose(back.self_weight, weighted_graph.self_weight)
+
+    def test_bad_npz(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+
+class TestMetis:
+    def test_roundtrip_unweighted(self, karate, tmp_path):
+        from repro.graph.io import load_metis, save_metis
+
+        path = tmp_path / "karate.metis"
+        save_metis(karate, path)
+        back = load_metis(path)
+        back.validate()
+        assert back.n == karate.n
+        np.testing.assert_array_equal(back.indptr, karate.indptr)
+        np.testing.assert_array_equal(back.indices, karate.indices)
+
+    def test_roundtrip_weighted(self, tmp_path):
+        from repro.graph.builder import from_edge_array
+        from repro.graph.io import load_metis, save_metis
+
+        g = from_edge_array(4, [0, 1, 2], [1, 2, 3], [1.5, 2.0, 0.25])
+        path = tmp_path / "w.metis"
+        save_metis(g, path, weighted=True)
+        back = load_metis(path)
+        assert back.total_weight == pytest.approx(g.total_weight)
+        np.testing.assert_allclose(back.weights, g.weights)
+
+    def test_rejects_bad_header(self, tmp_path):
+        from repro.graph.io import load_metis
+
+        path = tmp_path / "bad.metis"
+        path.write_text("justone\n")
+        with pytest.raises(GraphFormatError):
+            load_metis(path)
+
+    def test_rejects_wrong_line_count(self, tmp_path):
+        from repro.graph.io import load_metis
+
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n1\n")  # says 3 vertices, gives 2 lines
+        with pytest.raises(GraphFormatError, match="adjacency lines"):
+            load_metis(path)
+
+    def test_rejects_out_of_range(self, tmp_path):
+        from repro.graph.io import load_metis
+
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1\n5\n1\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            load_metis(path)
+
+    def test_rejects_vertex_weight_fmt(self, tmp_path):
+        from repro.graph.io import load_metis
+
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1 11\n2 1\n1 1\n")
+        with pytest.raises(GraphFormatError, match="fmt"):
+            load_metis(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        from repro.graph.io import load_metis
+
+        path = tmp_path / "c.metis"
+        path.write_text("% hello\n2 1\n2\n1\n")
+        g = load_metis(path)
+        assert g.n == 2 and g.num_edges == 1

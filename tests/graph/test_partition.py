@@ -1,0 +1,67 @@
+"""Tests for multi-GPU vertex partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import ring_of_cliques, rmat_graph
+from repro.graph.partition import (
+    VertexPartition,
+    partition_by_degree,
+    partition_contiguous,
+)
+
+
+class TestVertexPartition:
+    def test_sizes_and_vertices(self):
+        p = VertexPartition(owner=np.array([0, 1, 0, 1, 2]), num_parts=3)
+        np.testing.assert_array_equal(p.sizes(), [2, 2, 1])
+        np.testing.assert_array_equal(p.vertices_of(1), [1, 3])
+
+    def test_rejects_bad_owner(self):
+        with pytest.raises(PartitionError):
+            VertexPartition(owner=np.array([0, 5]), num_parts=2)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(PartitionError):
+            VertexPartition(owner=np.array([0]), num_parts=0)
+
+
+class TestContiguous:
+    def test_covers_all_vertices(self, ring):
+        p = partition_contiguous(ring, 4)
+        assert p.sizes().sum() == ring.n
+        assert p.num_parts == 4
+
+    def test_contiguity(self, ring):
+        p = partition_contiguous(ring, 3)
+        # owners must be non-decreasing over vertex ids
+        assert np.all(np.diff(p.owner) >= 0)
+
+    def test_edge_balance(self):
+        g = rmat_graph(11, seed=5)
+        p = partition_contiguous(g, 4)
+        loads = p.edge_loads(g)
+        assert loads.max() <= 2.0 * loads.mean() + g.degrees().max()
+
+    def test_single_part(self, ring):
+        p = partition_contiguous(ring, 1)
+        assert np.all(p.owner == 0)
+
+
+class TestByDegree:
+    def test_covers_all_vertices(self, ring):
+        p = partition_by_degree(ring, 4)
+        assert p.sizes().sum() == ring.n
+
+    def test_tighter_balance_on_skewed_graph(self):
+        g = rmat_graph(11, seed=5)
+        greedy = partition_by_degree(g, 4).edge_loads(g)
+        # LPT must be near-perfectly balanced
+        assert greedy.max() <= 1.1 * greedy.mean() + g.degrees().max()
+
+    def test_rejects_zero_parts(self, ring):
+        with pytest.raises(PartitionError):
+            partition_by_degree(ring, 0)
+        with pytest.raises(PartitionError):
+            partition_contiguous(ring, 0)

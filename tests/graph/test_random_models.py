@@ -1,0 +1,107 @@
+"""Tests for the classic random-graph models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeneratorParameterError
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_validity_and_determinism(self):
+        a = erdos_renyi(300, 0.03, seed=1)
+        b = erdos_renyi(300, 0.03, seed=1)
+        a.validate()
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_edge_count_near_expectation(self):
+        n, p = 400, 0.05
+        g = erdos_renyi(n, p, seed=2)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 5 * np.sqrt(expected)
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=0).num_edges == 45
+
+    def test_no_self_loops_or_duplicates(self):
+        g = erdos_renyi(100, 0.2, seed=3)
+        g.validate()  # validates both properties
+        assert g.self_weight.sum() == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(GeneratorParameterError):
+            erdos_renyi(0, 0.5)
+        with pytest.raises(GeneratorParameterError):
+            erdos_renyi(10, 1.5)
+
+    @given(st.integers(2, 60), st.floats(0.0, 1.0), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, n, p, seed):
+        erdos_renyi(n, p, seed=seed).validate()
+
+
+class TestBarabasiAlbert:
+    def test_validity(self):
+        g = barabasi_albert(200, 2, seed=1)
+        g.validate()
+        assert g.n == 200
+
+    def test_minimum_degree(self):
+        g = barabasi_albert(200, 3, seed=2)
+        # every vertex after the seed attaches with >= 3 edges
+        assert g.degrees().min() >= 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(1000, 2, seed=3)
+        deg = g.degrees()
+        assert deg.max() > 6 * deg.mean()
+
+    def test_parameter_validation(self):
+        with pytest.raises(GeneratorParameterError):
+            barabasi_albert(5, 5)
+        with pytest.raises(GeneratorParameterError):
+            barabasi_albert(10, 0)
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_ring_lattice(self):
+        g = watts_strogatz(50, 4, 0.0, seed=1)
+        g.validate()
+        assert np.all(g.degrees() == 4)
+        assert g.num_edges == 100
+
+    def test_rewiring_changes_structure(self):
+        lattice = watts_strogatz(200, 6, 0.0, seed=2)
+        rewired = watts_strogatz(200, 6, 0.5, seed=2)
+        assert not np.array_equal(lattice.indices, rewired.indices)
+        # total edge count only shrinks via coalesced duplicates
+        assert rewired.num_edges <= lattice.num_edges
+
+    def test_no_self_loops(self):
+        g = watts_strogatz(100, 4, 1.0, seed=3)
+        g.validate()
+
+    def test_parameter_validation(self):
+        with pytest.raises(GeneratorParameterError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GeneratorParameterError):
+            watts_strogatz(10, 12, 0.1)  # k >= n
+        with pytest.raises(GeneratorParameterError):
+            watts_strogatz(10, 4, 1.5)
+
+    def test_louvain_runs_on_null_models(self):
+        """Community detection on structure-free graphs must terminate
+        with near-zero modularity for ER and something modest for WS."""
+        from repro.core import gala
+
+        er_q = gala(erdos_renyi(300, 0.05, seed=4)).modularity
+        ws_q = gala(watts_strogatz(300, 6, 0.05, seed=4)).modularity
+        assert er_q < 0.4  # no real structure to find
+        assert ws_q > er_q  # lattice locality gives WS more structure

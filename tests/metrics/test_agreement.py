@@ -1,0 +1,129 @@
+"""Tests for ARI, purity, and variation of information."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.agreement import (
+    adjusted_rand_index,
+    purity,
+    variation_of_information,
+)
+
+
+class TestARI:
+    def test_identical(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_relabelled(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 2, 2])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 5000)
+        b = rng.integers(0, 5, 5000)
+        assert abs(adjusted_rand_index(a, b)) < 0.01
+
+    def test_known_value(self):
+        # classic hand example
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        # contingency: [[2,1,0],[0,1,2]]; sum C(nij,2)=2; rows C(3,2)*2=6;
+        # cols C(2,2)*3=3; total C(6,2)=15; E=6*3/15=1.2; max=(6+3)/2=4.5
+        expected = (2 - 1.2) / (4.5 - 1.2)
+        assert adjusted_rand_index(a, b) == pytest.approx(expected)
+
+    def test_trivial_partitions(self):
+        a = np.zeros(5, dtype=int)
+        assert adjusted_rand_index(a, a) == 1.0
+        assert adjusted_rand_index(np.arange(5), np.arange(5)) == 1.0
+
+    def test_empty(self):
+        assert adjusted_rand_index(np.array([]), np.array([])) == 1.0
+
+    @given(st.lists(st.integers(0, 4), min_size=2, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_and_bounded(self, labels):
+        a = np.array(labels)
+        b = np.roll(a, 1)
+        ab = adjusted_rand_index(a, b)
+        ba = adjusted_rand_index(b, a)
+        assert ab == pytest.approx(ba)
+        assert -1.0 <= ab <= 1.0
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+
+class TestPurity:
+    def test_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        assert purity(a, a) == 1.0
+
+    def test_singletons_trivially_pure(self):
+        true = np.array([0, 0, 1, 1])
+        assert purity(np.arange(4), true) == 1.0
+
+    def test_known_value(self):
+        pred = np.array([0, 0, 0, 1, 1, 1])
+        true = np.array([0, 0, 1, 1, 1, 2])
+        # cluster 0: majority class 0 (2); cluster 1: majority 1 (2)
+        assert purity(pred, true) == pytest.approx(4 / 6)
+
+    def test_asymmetry(self):
+        pred = np.zeros(4, dtype=int)
+        true = np.array([0, 0, 1, 1])
+        assert purity(pred, true) == pytest.approx(0.5)
+        assert purity(true, pred) == pytest.approx(1.0)
+
+
+class TestVI:
+    def test_identical_zero(self):
+        labels = np.array([0, 1, 1, 2])
+        assert variation_of_information(labels, labels) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 300)
+        b = rng.integers(0, 3, 300)
+        assert variation_of_information(a, b) == pytest.approx(
+            variation_of_information(b, a)
+        )
+
+    def test_bounded_by_log_n(self):
+        rng = np.random.default_rng(2)
+        n = 200
+        a = rng.integers(0, 50, n)
+        b = rng.integers(0, 50, n)
+        assert variation_of_information(a, b) <= 2 * np.log(n)
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=3, max_size=40),
+        st.lists(st.integers(0, 3), min_size=3, max_size=40),
+        st.lists(st.integers(0, 3), min_size=3, max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, xs, ys, zs):
+        n = min(len(xs), len(ys), len(zs))
+        a, b, c = np.array(xs[:n]), np.array(ys[:n]), np.array(zs[:n])
+        ab = variation_of_information(a, b)
+        bc = variation_of_information(b, c)
+        ac = variation_of_information(a, c)
+        assert ac <= ab + bc + 1e-9  # VI is a metric
+
+
+class TestOnDetectionOutput:
+    def test_consistent_with_nmi_ranking(self):
+        """ARI and NMI must agree on which detection is closer to truth."""
+        from repro.core import gala, GalaConfig
+        from repro.graph.generators.lfr import LFRParams, lfr_graph
+        from repro.metrics import normalized_mutual_information as nmi
+
+        g_easy, t_easy = lfr_graph(LFRParams(n=600, mu=0.15, seed=1))
+        g_hard, t_hard = lfr_graph(LFRParams(n=600, mu=0.55, seed=1))
+        easy = gala(g_easy).communities
+        hard = gala(g_hard).communities
+        assert adjusted_rand_index(easy, t_easy) > adjusted_rand_index(hard, t_hard)
+        assert nmi(easy, t_easy) > nmi(hard, t_hard)

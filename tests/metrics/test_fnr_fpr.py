@@ -1,0 +1,84 @@
+"""Tests for FNR/FPR aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.metrics.fnr_fpr import (
+    average_inactive_rate,
+    inactive_rate_series,
+    pruning_rates,
+    unmoved_rate_series,
+)
+from repro.graph.generators import load_dataset
+
+
+@pytest.fixture(scope="module")
+def lj_small():
+    return load_dataset("LJ", scale=0.05)
+
+
+class TestPruningRates:
+    def test_requires_oracle(self, lj_small):
+        r = run_phase1(lj_small, Phase1Config(pruning="mg"))
+        with pytest.raises(ValueError, match="oracle"):
+            pruning_rates(r)
+
+    def test_mg_zero_fnr(self, lj_small):
+        r = run_phase1(lj_small, Phase1Config(pruning="mg", oracle=True))
+        rates = pruning_rates(r, strategy="mg", graph="LJ")
+        assert rates.fnr == 0.0
+        assert rates.total_false_negatives == 0
+        assert 0.0 <= rates.fpr <= 1.0
+
+    def test_none_has_full_fpr(self, lj_small):
+        r = run_phase1(lj_small, Phase1Config(pruning="none", oracle=True))
+        rates = pruning_rates(r)
+        # everything active: all unmoved vertices are false positives
+        assert rates.fpr == pytest.approx(1.0)
+        assert rates.fnr == 0.0
+
+    def test_sm_fpr_above_mg(self, lj_small):
+        sm = pruning_rates(
+            run_phase1(lj_small, Phase1Config(pruning="sm", oracle=True))
+        )
+        mg = pruning_rates(
+            run_phase1(lj_small, Phase1Config(pruning="mg", oracle=True))
+        )
+        assert sm.fpr > mg.fpr
+
+    def test_as_row(self, lj_small):
+        r = run_phase1(lj_small, Phase1Config(pruning="mg", oracle=True))
+        row = pruning_rates(r, strategy="mg", graph="LJ").as_row()
+        assert row["graph"] == "LJ"
+        assert row["FNR"].endswith("%")
+
+
+class TestSeries:
+    def test_series_lengths(self, lj_small):
+        r = run_phase1(lj_small, Phase1Config(pruning="mg"))
+        assert len(inactive_rate_series(r)) == r.num_iterations
+        assert len(unmoved_rate_series(r)) == r.num_iterations
+
+    def test_inactive_rate_grows(self, lj_small):
+        """Paper Figures 1(b)/7: pruning increases as iterations proceed."""
+        r = run_phase1(lj_small, Phase1Config(pruning="mg"))
+        series = inactive_rate_series(r)
+        assert series[0] == 0.0  # iteration 0: everyone active
+        late = series[len(series) // 2:]
+        assert late.mean() > series[: len(series) // 2].mean()
+
+    def test_unmoved_rate_rises_high(self, lj_small):
+        """Figure 1(b): the unmoved fraction approaches 1 as the partition
+        stabilises (the final iterations may oscillate, so check the peak)."""
+        r = run_phase1(lj_small, Phase1Config(pruning="none"))
+        series = unmoved_rate_series(r)
+        assert series.max() > 0.8
+        assert series[len(series) // 2:].mean() > series[: len(series) // 2].mean()
+
+    def test_average_inactive_rate(self, lj_small):
+        r = run_phase1(lj_small, Phase1Config(pruning="mg"))
+        avg = average_inactive_rate(r)
+        assert 0.0 < avg < 1.0
+        # including iteration 0 dilutes the average
+        assert average_inactive_rate(r, skip_first=False) <= avg

@@ -1,0 +1,86 @@
+"""Tests for NMI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.nmi import contingency_table, normalized_mutual_information
+
+
+class TestNMIValues:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_relabelled_partitions(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([5, 5, 9, 9, 1, 1])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 5000)
+        b = rng.integers(0, 5, 5000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_partial_agreement_between_0_and_1(self):
+        a = np.array([0] * 50 + [1] * 50)
+        b = np.concatenate([a[:75], 1 - a[75:]])
+        nmi = normalized_mutual_information(a, b)
+        assert 0.0 < nmi < 1.0
+
+    def test_both_trivial(self):
+        a = np.zeros(10, dtype=int)
+        assert normalized_mutual_information(a, a) == 1.0
+
+    def test_one_trivial(self):
+        a = np.zeros(10, dtype=int)
+        b = np.arange(10)
+        assert normalized_mutual_information(a, b) == 0.0
+
+    def test_empty(self):
+        assert normalized_mutual_information(np.array([]), np.array([])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.zeros(3), np.zeros(4))
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 200)
+        b = rng.integers(0, 6, 200)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_matches_sklearn_formula_by_hand(self):
+        # tiny case computed by hand: a splits 4 items 2/2, b groups all
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        # clusters are independent: MI = 0
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.lists(st.integers(0, 4), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_range_and_self_agreement(self, labels):
+        a = np.array(labels)
+        nmi_self = normalized_mutual_information(a, a)
+        assert nmi_self == pytest.approx(1.0)
+        b = np.roll(a, 1)
+        nmi = normalized_mutual_information(a, b)
+        assert 0.0 <= nmi <= 1.0
+
+
+class TestContingency:
+    def test_counts(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1])
+        t = contingency_table(a, b).toarray()
+        np.testing.assert_array_equal(t, [[1, 1], [0, 2]])
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 7, 300)
+        b = rng.integers(0, 3, 300)
+        assert contingency_table(a, b).sum() == 300

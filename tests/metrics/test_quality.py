@@ -1,0 +1,58 @@
+"""Tests for coverage / performance / conductance."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edge_array
+from repro.metrics.quality import coverage, mean_conductance, partition_performance
+
+
+class TestCoverage:
+    def test_perfect_partition(self, triangles):
+        comm = np.array([0, 0, 0, 1, 1, 1])
+        # 6 of 7 edges internal
+        assert coverage(triangles, comm) == pytest.approx(6 / 7)
+
+    def test_single_community_full_coverage(self, triangles):
+        assert coverage(triangles, np.zeros(6, dtype=int)) == pytest.approx(1.0)
+
+    def test_singletons_only_loops(self):
+        g = from_edge_array(2, [0, 1], [1, 1], [1.0, 3.0])
+        assert coverage(g, np.array([0, 1])) == pytest.approx(3.0 / 4.0)
+
+
+class TestPerformance:
+    def test_perfect_split(self, triangles):
+        comm = np.array([0, 0, 0, 1, 1, 1])
+        # intra edges: 6; inter pairs: 9 of which 1 is an edge
+        expected = (6 + (9 - 1)) / 15
+        assert partition_performance(triangles, comm) == pytest.approx(expected)
+
+    def test_trivial_cases(self):
+        g = from_edge_array(1, [], [], None)
+        assert partition_performance(g, np.zeros(1, dtype=int)) == 1.0
+
+    def test_range(self, karate):
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            comm = rng.integers(0, 5, karate.n)
+            assert 0.0 <= partition_performance(karate, comm) <= 1.0
+
+
+class TestConductance:
+    def test_single_community_zero(self, triangles):
+        assert mean_conductance(triangles, np.zeros(6, dtype=int)) == 0.0
+
+    def test_good_partition_low(self, triangles):
+        good = mean_conductance(triangles, np.array([0, 0, 0, 1, 1, 1]))
+        bad = mean_conductance(triangles, np.array([0, 1, 0, 1, 0, 1]))
+        assert good < bad
+
+    def test_known_value(self, triangles):
+        # each triangle: cut = 1 (bridge), vol = 7 -> phi = 1/7
+        phi = mean_conductance(triangles, np.array([0, 0, 0, 1, 1, 1]))
+        assert phi == pytest.approx(1 / 7)
+
+    def test_ring_partition_quality(self, ring):
+        good = mean_conductance(ring, np.repeat(np.arange(8), 6))
+        assert good < 0.1

@@ -1,0 +1,128 @@
+"""Tests for the multi-GPU runtime and synchronisation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.graph.generators import load_dataset, ring_of_cliques
+from repro.graph.partition import partition_by_degree
+from repro.gpusim.device import Device
+from repro.gpusim.nccl import Communicator
+from repro.multigpu import (
+    MultiGpuConfig,
+    SyncMode,
+    choose_sync_mode,
+    run_multigpu_phase1,
+)
+from repro.multigpu.sync import (
+    DENSE_BYTES_PER_VERTEX,
+    SPARSE_BYTES_PER_MOVED,
+    dense_sync_comm,
+    sparse_sync_comm,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("OR", scale=0.1)
+
+
+class TestChooseSyncMode:
+    def test_dense_when_everything_moves(self):
+        plan = choose_sync_mode(n=1000, num_moved=900)
+        assert plan.mode is SyncMode.DENSE
+
+    def test_sparse_when_little_moves(self):
+        plan = choose_sync_mode(n=1000, num_moved=5)
+        assert plan.mode is SyncMode.SPARSE
+        assert plan.chosen_bytes == 5 * SPARSE_BYTES_PER_MOVED
+
+    def test_threshold_crossover(self):
+        n = 1200
+        threshold = n * DENSE_BYTES_PER_VERTEX // SPARSE_BYTES_PER_MOVED
+        assert choose_sync_mode(n, threshold - 1).mode is SyncMode.SPARSE
+        assert choose_sync_mode(n, threshold + 1).mode is SyncMode.DENSE
+
+    def test_forced_modes(self):
+        assert choose_sync_mode(10, 0, SyncMode.DENSE).mode is SyncMode.DENSE
+        assert choose_sync_mode(10, 10, SyncMode.SPARSE).mode is SyncMode.SPARSE
+
+
+class TestSyncPrimitives:
+    def test_dense_reconstructs(self):
+        comm = Communicator([Device(device_id=i) for i in range(2)])
+        full = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        masks = [np.array([1, 1, 0, 0, 0], bool), np.array([0, 0, 1, 1, 1], bool)]
+        merged = dense_sync_comm([full, full], masks, comm)
+        np.testing.assert_array_equal(merged, full)
+
+    def test_sparse_reconstructs(self):
+        comm = Communicator([Device(device_id=i) for i in range(2)])
+        arr = np.array([9, 1, 9, 3], dtype=np.int64)
+        merged = sparse_sync_comm(arr, [np.array([0]), np.array([2])], comm)
+        np.testing.assert_array_equal(merged, arr)
+
+
+class TestRuntimeEquivalence:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_identical_to_single_gpu_engine(self, graph, k):
+        single = run_phase1(graph, Phase1Config(pruning="mg"))
+        multi = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=k))
+        np.testing.assert_array_equal(multi.communities, single.communities)
+        assert multi.modularity == pytest.approx(single.modularity, abs=1e-12)
+
+    @pytest.mark.parametrize("mode", [SyncMode.DENSE, SyncMode.SPARSE, SyncMode.ADAPTIVE])
+    def test_sync_mode_does_not_change_result(self, graph, mode):
+        ref = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=2))
+        got = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=2, sync_mode=mode))
+        np.testing.assert_array_equal(got.communities, ref.communities)
+
+    def test_custom_partition(self, graph):
+        part = partition_by_degree(graph, 3)
+        r = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=3), partition=part)
+        single = run_phase1(graph, Phase1Config(pruning="mg"))
+        np.testing.assert_array_equal(r.communities, single.communities)
+
+    def test_partition_count_mismatch(self, graph):
+        part = partition_by_degree(graph, 3)
+        with pytest.raises(ValueError):
+            run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=2), partition=part)
+
+
+class TestScalingShape:
+    def test_compute_scales_comm_does_not(self, graph):
+        """Figure 10(b): computation drops with GPUs, communication stays
+        roughly constant."""
+        r1 = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=1))
+        r8 = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=8))
+        assert r8.compute_seconds() < r1.compute_seconds() / 4
+        assert r8.comm_seconds() >= r1.comm_seconds()
+
+    def test_speedup_sublinear(self, graph):
+        r1 = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=1))
+        r8 = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=8))
+        speedup = r1.total_seconds() / r8.total_seconds()
+        assert 1.0 < speedup < 8.0
+
+    def test_adaptive_switches_modes(self, graph):
+        r = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=4))
+        modes = {h.sync_plan.mode for h in r.history}
+        assert modes == {SyncMode.DENSE, SyncMode.SPARSE}
+
+    def test_adaptive_competitive_with_fixed(self, graph):
+        """Adaptive picks by byte volume (the paper's threshold), which is
+        time-optimal once buffers are big enough to be bandwidth-bound; at
+        latency-bound toy sizes it must still be no worse than dense and
+        within a small factor of the best fixed policy."""
+
+        def comm_time(mode):
+            r = run_multigpu_phase1(
+                graph, MultiGpuConfig(num_gpus=4, sync_mode=mode)
+            )
+            return r.comm_seconds()
+
+        adaptive = comm_time(SyncMode.ADAPTIVE)
+        dense = comm_time(SyncMode.DENSE)
+        sparse = comm_time(SyncMode.SPARSE)
+        assert adaptive <= dense + 1e-12
+        assert adaptive <= 1.3 * min(dense, sparse)

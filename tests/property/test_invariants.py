@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) of the library's core invariants.
+
+Each property here is one of the theorems/identities the system is built
+on, checked over randomly generated graphs and states:
+
+1. modularity identities (range, permutation invariance, Eq. 1 vs state);
+2. coarsening preserves modularity and total weight;
+3. delta weight updates equal recomputation on arbitrary move batches;
+4. the MG bound never produces a false negative (Theorem 6);
+5. one DecideAndMove sweep from singletons never decreases modularity;
+6. FN-free pruning reproduces the unpruned trajectory bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels.vectorized import decide_moves
+from repro.core.modularity import modularity
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.core.pruning.modularity_gain import ModularityGainPruning
+from repro.core.state import CommunityState
+from repro.core.weights import delta_update
+from repro.graph.builder import from_edge_array
+from repro.graph.coarsen import coarsen_graph
+
+
+@st.composite
+def random_graphs(draw, max_n=16, max_edges=40, weighted=True, loops=True):
+    """Small random weighted graphs (possibly disconnected, with loops)."""
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(1, max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    if weighted:
+        w = draw(
+            st.lists(
+                st.floats(0.25, 8.0, allow_nan=False), min_size=m, max_size=m
+            )
+        )
+    else:
+        w = [1.0] * m
+    if not loops:
+        pairs = [(s, d, x) for s, d, x in zip(src, dst, w) if s != d]
+        if not pairs:
+            pairs = [(0, 1, 1.0)]
+        src, dst, w = map(list, zip(*pairs))
+    return from_edge_array(n, np.array(src), np.array(dst), np.array(w))
+
+
+@st.composite
+def graph_with_partition(draw, **kwargs):
+    g = draw(random_graphs(**kwargs))
+    k = draw(st.integers(1, g.n))
+    comm = draw(
+        st.lists(st.integers(0, k - 1), min_size=g.n, max_size=g.n)
+    )
+    return g, np.array(comm, dtype=np.int64)
+
+
+class TestModularityProperties:
+    @given(graph_with_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_range_and_state_identity(self, gp):
+        g, comm = gp
+        q = modularity(g, comm)
+        assert -1.0 <= q <= 1.0
+        state = CommunityState.from_assignment(g, comm)
+        assert state.modularity() == pytest.approx(q, abs=1e-10)
+
+    @given(graph_with_partition(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_label_permutation_invariance(self, gp, seed):
+        g, comm = gp
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(int(comm.max()) + 1)
+        assert modularity(g, perm[comm]) == pytest.approx(
+            modularity(g, comm), abs=1e-12
+        )
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_single_community_zero(self, g):
+        assert modularity(g, np.zeros(g.n, dtype=int)) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+
+class TestCoarsenProperties:
+    @given(graph_with_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_preserves_weight_and_modularity(self, gp):
+        g, comm = gp
+        coarse, mapping = coarsen_graph(g, comm)
+        coarse.validate()
+        assert coarse.two_m == pytest.approx(g.two_m, rel=1e-12)
+        q_fine = modularity(g, comm)
+        q_coarse = modularity(coarse, np.arange(coarse.n))
+        assert q_coarse == pytest.approx(q_fine, abs=1e-10)
+
+    @given(graph_with_partition())
+    @settings(max_examples=30, deadline=None)
+    def test_strength_aggregates(self, gp):
+        g, comm = gp
+        coarse, mapping = coarsen_graph(g, comm)
+        agg = np.zeros(coarse.n)
+        np.add.at(agg, mapping, g.strength)
+        np.testing.assert_allclose(coarse.strength, agg, atol=1e-9)
+
+
+class TestDeltaUpdateProperty:
+    @given(graph_with_partition(), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_equals_recompute(self, gp, seed):
+        g, comm = gp
+        rng = np.random.default_rng(seed)
+        state = CommunityState.from_assignment(g, comm)
+        # arbitrary batch of moves into neighbouring communities
+        prev = state.comm.copy()
+        nxt = state.comm.copy()
+        movers = rng.choice(g.n, size=rng.integers(1, g.n + 1), replace=False)
+        for v in movers:
+            nbrs = g.neighbors(v)
+            if len(nbrs):
+                nxt[v] = state.comm[rng.choice(nbrs)]
+        state.comm = nxt
+        delta_update(state, prev, nxt != prev)
+        ref = CommunityState.from_assignment(g, nxt)
+        np.testing.assert_allclose(state.d_comm, ref.d_comm, atol=1e-9)
+
+
+class TestDecideProperties:
+    @given(random_graphs(loops=False))
+    @settings(max_examples=40, deadline=None)
+    def test_first_sweep_never_decreases_q(self, g):
+        state = CommunityState.singletons(g)
+        result = decide_moves(state, np.arange(g.n))
+        nxt = result.next_comm(state.comm)
+        assert modularity(g, nxt) >= modularity(g, state.comm) - 1e-9
+
+    @given(graph_with_partition())
+    @settings(max_examples=40, deadline=None)
+    def test_applied_moves_beat_staying(self, gp):
+        """Every applied move strictly improves over staying, per Eq. 2."""
+        g, comm = gp
+        state = CommunityState.from_assignment(g, comm)
+        result = decide_moves(state, np.arange(g.n))
+        movers = np.flatnonzero(result.move)
+        assert np.all(result.best_gain[movers] > result.stay_gain[movers])
+
+
+class TestMGSoundnessProperty:
+    @given(graph_with_partition(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negative_on_any_state(self, gp, remove_self):
+        """Theorem 6, property-tested: an MG-inactive vertex is never moved
+        by a full DecideAndMove on the same state."""
+        g, comm = gp
+        state = CommunityState.from_assignment(g, comm)
+        inactive = ModularityGainPruning().inactive_mask(state, remove_self)
+        result = decide_moves(state, np.arange(g.n), remove_self=remove_self)
+        nxt = result.next_comm(state.comm)
+        moved = nxt != state.comm
+        assert not np.any(moved & inactive)
+
+    @given(graph_with_partition())
+    @settings(max_examples=40, deadline=None)
+    def test_neighborhood_bound_sound_too(self, gp):
+        g, comm = gp
+        state = CommunityState.from_assignment(g, comm)
+        inactive = ModularityGainPruning(bound="neighborhood").inactive_mask(
+            state, True
+        )
+        result = decide_moves(state, np.arange(g.n))
+        moved = result.next_comm(state.comm) != state.comm
+        assert not np.any(moved & inactive)
+
+
+class TestTrajectoryProperty:
+    @given(random_graphs(max_n=14, max_edges=30, loops=False))
+    @settings(max_examples=25, deadline=None)
+    def test_mg_trajectory_identical(self, g):
+        base = run_phase1(g, Phase1Config(pruning="none", max_iterations=30))
+        mg = run_phase1(g, Phase1Config(pruning="mg", max_iterations=30))
+        np.testing.assert_array_equal(base.communities, mg.communities)
+        assert base.modularity == pytest.approx(mg.modularity, abs=1e-12)
+
+
+class TestDistributedEquivalenceProperty:
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_random_partitions_bit_identical(self, seed, k):
+        """The halo-exchange runtime must match the single engine under
+        ARBITRARY ownership assignments, not just contiguous ones."""
+        from repro.distributed import DistributedConfig, run_distributed_phase1
+        from repro.graph.generators import planted_partition
+        from repro.graph.partition import VertexPartition
+
+        g, _ = planted_partition(4, 20, 0.35, 0.03, seed=seed % 89)
+        rng = np.random.default_rng(seed)
+        owner = rng.integers(0, k, g.n).astype(np.int64)
+        part = VertexPartition(owner=owner, num_parts=k)
+        single = run_phase1(g, Phase1Config(pruning="mg"))
+        dist = run_distributed_phase1(
+            g, DistributedConfig(num_ranks=k), partition=part
+        )
+        np.testing.assert_array_equal(dist.communities, single.communities)

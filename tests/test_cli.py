@@ -1,0 +1,114 @@
+"""End-to-end tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.io import save_edge_list
+
+
+@pytest.fixture
+def karate_file(karate, tmp_path):
+    path = tmp_path / "karate.txt"
+    save_edge_list(karate, path)
+    return str(path)
+
+
+class TestDetect:
+    def test_detect_runs(self, karate_file, capsys):
+        assert main(["detect", karate_file]) == 0
+        out = capsys.readouterr().out
+        assert "modularity" in out
+        assert "communities" in out
+
+    def test_detect_writes_assignment(self, karate_file, tmp_path, capsys):
+        out_path = tmp_path / "comm.txt"
+        assert main(["detect", karate_file, "-o", str(out_path)]) == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == 34
+        pairs = [tuple(map(int, ln.split())) for ln in lines]
+        assert [v for v, _ in pairs] == list(range(34))
+
+    def test_detect_resolution_flag(self, karate_file, tmp_path):
+        lo = tmp_path / "lo.txt"
+        hi = tmp_path / "hi.txt"
+        main(["detect", karate_file, "--resolution", "0.1", "-o", str(lo)])
+        main(["detect", karate_file, "--resolution", "5.0", "-o", str(hi)])
+
+        def n_comms(path):
+            return len({ln.split()[1] for ln in path.read_text().splitlines()})
+
+        assert n_comms(lo) < n_comms(hi)
+
+    def test_detect_pruning_choices_validated(self, karate_file):
+        with pytest.raises(SystemExit):
+            main(["detect", karate_file, "--pruning", "bogus"])
+
+    def test_phase1_only(self, karate_file, capsys):
+        assert main(["detect", karate_file, "--phase1-only"]) == 0
+
+
+class TestStatsAndGenerate:
+    def test_stats(self, karate_file, capsys):
+        assert main(["stats", karate_file]) == 0
+        out = capsys.readouterr().out
+        assert "deg(min/mean/max)" in out
+
+    def test_generate_lfr_roundtrip(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.txt"
+        truth_path = tmp_path / "t.txt"
+        assert main([
+            "generate", "lfr", "--n", "500", "--mu", "0.2",
+            "-o", str(graph_path), "--ground-truth", str(truth_path),
+            "--seed", "1",
+        ]) == 0
+        assert main(["detect", str(graph_path)]) == 0
+        truth = np.loadtxt(truth_path, dtype=int)
+        assert truth.shape == (500, 2)
+
+    def test_generate_rmat(self, tmp_path):
+        path = tmp_path / "r.txt"
+        assert main([
+            "generate", "rmat", "--scale", "8", "-o", str(path), "--seed", "2",
+        ]) == 0
+        assert path.exists()
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestBenchDelegation:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table1" in out
+
+
+class TestLeidenAndScoring:
+    def test_detect_leiden(self, karate_file, capsys):
+        assert main(["detect", karate_file, "--algorithm", "leiden"]) == 0
+        out = capsys.readouterr().out
+        assert "modularity" in out
+
+    def test_ground_truth_scoring(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.txt"
+        truth_path = tmp_path / "t.txt"
+        main([
+            "generate", "lfr", "--n", "400", "--mu", "0.2",
+            "-o", str(graph_path), "--ground-truth", str(truth_path),
+            "--seed", "4",
+        ])
+        capsys.readouterr()
+        assert main([
+            "detect", str(graph_path), "--ground-truth", str(truth_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NMI vs truth" in out
+        assert "ARI vs truth" in out
+
+    def test_ground_truth_length_mismatch(self, karate_file, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 0\n1 1\n")
+        with pytest.raises(SystemExit):
+            main(["detect", karate_file, "--ground-truth", str(bad)])

@@ -1,0 +1,100 @@
+"""End-to-end integration tests: whole pipelines across subsystems.
+
+These run the complete stack (generator -> engine -> coarsening -> metrics
+-> reporting) exactly as the examples and experiments do, on every
+stand-in dataset, checking the cross-module contracts unit tests cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GalaConfig, Phase1Config, gala, louvain, modularity, run_phase1
+from repro.baselines import sequential_louvain
+from repro.core.kernels.dispatch import make_gpusim_kernel
+from repro.graph.generators import dataset_names, load_dataset
+from repro.graph.io import load_npz, save_npz
+from repro.metrics import coverage, normalized_mutual_information
+from repro.multigpu import MultiGpuConfig, run_multigpu_phase1
+
+SCALE = 0.05
+
+
+@pytest.mark.parametrize("abbr", dataset_names())
+class TestEveryDataset:
+    def test_full_pipeline(self, abbr):
+        g = load_dataset(abbr, SCALE)
+        g.validate()
+        result = gala(g)
+        assert result.num_communities >= 1
+        assert result.modularity == pytest.approx(
+            modularity(g, result.communities), abs=1e-12
+        )
+        assert coverage(g, result.communities) >= result.modularity
+
+    def test_mg_losslessness(self, abbr):
+        g = load_dataset(abbr, SCALE)
+        base = gala(g, GalaConfig(pruning="none"))
+        mg = gala(g, GalaConfig(pruning="mg"))
+        np.testing.assert_array_equal(base.communities, mg.communities)
+
+    def test_weight_update_equivalence(self, abbr):
+        g = load_dataset(abbr, SCALE)
+        delta = run_phase1(g, Phase1Config(weight_update="delta"))
+        recompute = run_phase1(g, Phase1Config(weight_update="recompute"))
+        np.testing.assert_array_equal(delta.communities, recompute.communities)
+
+
+class TestCrossSubsystem:
+    def test_single_vs_multi_gpu_vs_gpusim(self):
+        """Three execution substrates, one answer."""
+        g = load_dataset("LJ", SCALE)
+        vec = run_phase1(g, Phase1Config(pruning="mg"))
+        multi = run_multigpu_phase1(g, MultiGpuConfig(num_gpus=3))
+        sim = run_phase1(
+            g, Phase1Config(pruning="mg", kernel=make_gpusim_kernel())
+        )
+        np.testing.assert_array_equal(vec.communities, multi.communities)
+        np.testing.assert_array_equal(vec.communities, sim.communities)
+
+    def test_bsp_vs_sequential_agreement(self):
+        """Different algorithms, same structure: the partitions they find
+        must strongly agree (NMI), not just score similarly."""
+        g = load_dataset("UK", SCALE)
+        bsp = gala(g)
+        seq = sequential_louvain(g)
+        agreement = normalized_mutual_information(
+            bsp.communities, seq.communities
+        )
+        assert agreement > 0.8
+
+    def test_io_roundtrip_preserves_result(self, tmp_path):
+        g = load_dataset("HW", SCALE)
+        path = tmp_path / "hw.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        a = gala(g)
+        b = gala(g2)
+        np.testing.assert_array_equal(a.communities, b.communities)
+
+    def test_hierarchy_is_refinement_chain(self):
+        """Each level's partition must be a coarsening of the previous
+        level's (merges only, never splits)."""
+        g = load_dataset("LJ", SCALE)
+        result = louvain(g)
+        prev = None
+        for level in range(result.num_levels):
+            comm = result.communities_at_level(level)
+            if prev is not None:
+                # every previous-level community maps into exactly one
+                # current-level community
+                for c in np.unique(prev):
+                    members = np.flatnonzero(prev == c)
+                    assert len(np.unique(comm[members])) == 1
+            prev = comm
+
+    def test_experiment_harness_end_to_end(self):
+        from repro.bench.harness import run_experiment
+
+        out = run_experiment("fig1", scale=SCALE)
+        assert out.rows and out.series
+        assert "fig1" in out.render()

@@ -1,0 +1,43 @@
+"""Tests for the RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator, spawn_children
+
+
+def test_int_seed_reproducible():
+    a = as_generator(123).random(5)
+    b = as_generator(123).random(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(0)
+    assert as_generator(gen) is gen
+
+
+def test_none_gives_generator():
+    assert isinstance(as_generator(None), np.random.Generator)
+
+
+def test_seed_sequence_accepted():
+    ss = np.random.SeedSequence(5)
+    g = as_generator(ss)
+    assert isinstance(g, np.random.Generator)
+
+
+def test_spawn_children_independent_and_reproducible():
+    kids_a = spawn_children(99, 4)
+    kids_b = spawn_children(99, 4)
+    assert len(kids_a) == 4
+    for ka, kb in zip(kids_a, kids_b):
+        np.testing.assert_array_equal(ka.random(3), kb.random(3))
+    # children differ from each other
+    draws = [spawn_children(99, 4)[i].random(8).tobytes() for i in range(4)]
+    assert len(set(draws)) == 4
+
+
+def test_spawn_children_from_generator():
+    gen = np.random.default_rng(1)
+    kids = spawn_children(gen, 3)
+    assert len(kids) == 3

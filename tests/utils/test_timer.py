@@ -1,0 +1,62 @@
+"""Tests for wall-clock timers."""
+
+import time
+
+from repro.utils.timer import Timer, TimerRegistry
+
+
+def test_timer_accumulates():
+    t = Timer("x")
+    with t.measure():
+        time.sleep(0.01)
+    with t.measure():
+        time.sleep(0.01)
+    assert t.count == 2
+    assert t.total >= 0.02
+    assert t.mean >= 0.01
+
+
+def test_timer_reset():
+    t = Timer("x")
+    with t.measure():
+        pass
+    t.reset()
+    assert t.total == 0.0 and t.count == 0
+    assert t.mean == 0.0
+
+
+def test_registry_fractions_sum_to_one():
+    reg = TimerRegistry()
+    with reg.measure("a"):
+        time.sleep(0.005)
+    with reg.measure("b"):
+        time.sleep(0.005)
+    fr = reg.fractions()
+    assert abs(sum(fr.values()) - 1.0) < 1e-9
+    assert set(fr) == {"a", "b"}
+
+
+def test_registry_empty_fractions():
+    reg = TimerRegistry()
+    assert reg.fractions() == {}
+    reg.get("a")  # registered but never measured
+    assert reg.fractions() == {"a": 0.0}
+
+
+def test_registry_totals_and_reset():
+    reg = TimerRegistry()
+    with reg.measure("a"):
+        pass
+    assert reg.totals()["a"] >= 0.0
+    reg.reset()
+    assert reg.totals()["a"] == 0.0
+
+
+def test_timer_records_on_exception():
+    t = Timer("x")
+    try:
+        with t.measure():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert t.count == 1
