@@ -1,0 +1,110 @@
+"""Kernel-backend crossover: incremental cache + workload-aware dispatch.
+
+Not one of the paper's figures — this experiment profiles the repo's own
+host-side DecideAndMove backends, extending the paper's Section 4
+workload-aware kernel-selection idea to the host engine:
+
+* ``vectorized`` — full re-aggregation every iteration (the reference);
+* ``incremental`` — persistent pair cache, re-aggregating only the
+  active∧dirty rows (Section 3.5's delta principle applied to the
+  aggregation itself);
+* ``bincount`` — sort-free dense-relabel aggregation;
+* ``auto`` — the per-iteration dispatcher over the three.
+
+For each workload it times an MG-pruned phase-1 run per backend, checks
+the bit-exactness contract on the fly, and reports the auto dispatcher's
+per-span backend choices (:func:`repro.bench.reporting.backend_crossover_rows`)
+plus the per-iteration aggregated-edge fraction — the work the cache
+actually avoided.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.harness import ExperimentOutput
+from repro.bench.reporting import backend_crossover_rows
+from repro.bench.workloads import bench_scale, load_suite
+from repro.core.phase1 import Phase1Config, run_phase1
+
+GRAPHS = ["LJ", "OR"]
+BACKENDS = ["vectorized", "incremental", "bincount", "auto"]
+
+
+def _run_backend(graph, backend: str):
+    cfg = Phase1Config(pruning="mg", kernel=backend)
+    t0 = time.perf_counter()
+    result = run_phase1(graph, cfg)
+    elapsed = time.perf_counter() - t0
+    return result, elapsed
+
+
+def run(scale: float | None = None) -> ExperimentOutput:
+    scale = scale if scale is not None else bench_scale()
+    rows = []
+    series: dict[str, list[float]] = {}
+    notes = []
+    crossover_rows = []
+    for graph in load_suite(GRAPHS, scale=scale):
+        per_backend = {}
+        for backend in BACKENDS:
+            result, elapsed = _run_backend(graph, backend)
+            per_backend[backend] = (result, elapsed)
+        ref, ref_time = per_backend["vectorized"]
+        for backend in BACKENDS:
+            result, elapsed = per_backend[backend]
+            if not np.array_equal(result.communities, ref.communities):
+                raise AssertionError(
+                    f"{backend} diverged from vectorized on {graph.name}"
+                )
+            aggregated = sum(
+                h.aggregated_edges or 0 for h in result.history
+            )
+            rows.append(
+                {
+                    "graph": graph.name,
+                    "backend": backend,
+                    "time_s": elapsed,
+                    "speedup": f"{ref_time / elapsed:.2f}x",
+                    "iters": result.num_iterations,
+                    "active_edges": result.processed_edges,
+                    "aggregated_edges": aggregated,
+                    "agg_frac": (
+                        f"{aggregated / result.processed_edges:.0%}"
+                        if result.processed_edges
+                        else "-"
+                    ),
+                }
+            )
+        auto_result, _ = per_backend["auto"]
+        series[f"{graph.name} agg frac"] = [
+            (h.aggregated_edges or 0) / h.active_edges if h.active_edges else 0.0
+            for h in auto_result.history
+        ]
+        for span in backend_crossover_rows(auto_result.history):
+            crossover_rows.append({"graph": graph.name, **span})
+        incr_result, _ = per_backend["incremental"]
+        incr_agg = sum(h.aggregated_edges or 0 for h in incr_result.history)
+        notes.append(
+            f"{graph.name}: incremental re-aggregated "
+            f"{incr_agg / max(incr_result.processed_edges, 1):.0%} of the "
+            f"active adjacency the full path streams"
+        )
+    for row in crossover_rows:
+        notes.append(
+            f"auto crossover {row['graph']} iters {row['span']}: "
+            f"{row['backend']} ({row['aggregated_edges']} edges aggregated)"
+        )
+    return ExperimentOutput(
+        experiment="kernels",
+        title="DecideAndMove backend crossover (host dispatch)",
+        rows=rows,
+        columns=[
+            "graph", "backend", "time_s", "speedup", "iters",
+            "active_edges", "aggregated_edges", "agg_frac",
+        ],
+        series=series,
+        notes=notes,
+    )

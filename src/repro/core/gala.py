@@ -34,9 +34,15 @@ class GalaConfig:
     pruning: str = "mg"
     #: community-weight update scheme (``delta`` = paper Section 3.5)
     weight_update: str = "delta"
-    #: DecideAndMove backend: ``"vectorized"`` (fast, default) or
+    #: DecideAndMove backend: ``"vectorized"`` (pure NumPy) or
     #: ``"gpusim"`` (simulated GPU with workload-aware kernel dispatch)
     backend: str = "vectorized"
+    #: host kernel for the vectorized backend: ``"auto"`` (workload-aware
+    #: dispatch over the full / incremental-cache / sort-free paths, the
+    #: default), or ``"vectorized"`` / ``"incremental"`` / ``"bincount"``
+    #: to pin one path. All choices are bit-identical; see
+    #: :mod:`repro.core.kernels.incremental`.
+    kernel: str = "auto"
     #: gain convention (True = Grappolo/standard; see DESIGN.md)
     remove_self: bool = True
     #: resolution gamma (1.0 = classic modularity; >1 favours smaller
@@ -57,7 +63,7 @@ class GalaConfig:
     phase1_only: bool = False
 
     def phase1_config(self) -> Phase1Config:
-        kernel = "vectorized"
+        kernel: Union[str, object] = self.kernel
         if self.backend == "gpusim":
             from repro.core.kernels.dispatch import make_gpusim_kernel
 

@@ -3,6 +3,10 @@
 * :mod:`vectorized` — pure NumPy segmented-reduction backend; the default
   and the reference for correctness. Used for all algorithm-level results
   and wall-clock benchmarks.
+* :mod:`incremental` — the host-side performance backends: the persistent
+  pair-table cache (``incremental``), the sort-free dense-relabel path
+  (``bincount``), and the workload-aware dispatcher (``auto``) that picks
+  between them and the full path per iteration.
 * :mod:`shuffle` — warp-level shuffle-based kernel (paper Algorithm 2) on
   the simulated GPU; charges register/warp-primitive costs.
 * :mod:`hash` — block-level hash-based kernel (paper Algorithm 3) on the
@@ -13,9 +17,28 @@
 Every backend implements the same contract: given a
 :class:`~repro.core.state.CommunityState` and an active vertex set, return
 a :class:`~repro.core.kernels.vectorized.DecideResult` with identical
-community decisions (tested across backends).
+community decisions. The host backends (``vectorized``/``incremental``/
+``bincount``/``auto``) are held to the stricter bit-exactness contract
+documented in :mod:`repro.core.kernels.incremental`.
 """
 
+from repro.core.kernels.incremental import (
+    AutoKernel,
+    BincountKernel,
+    IncrementalKernel,
+    PairCache,
+    VectorizedKernel,
+    make_kernel,
+)
 from repro.core.kernels.vectorized import DecideResult, decide_moves
 
-__all__ = ["DecideResult", "decide_moves"]
+__all__ = [
+    "AutoKernel",
+    "BincountKernel",
+    "DecideResult",
+    "IncrementalKernel",
+    "PairCache",
+    "VectorizedKernel",
+    "decide_moves",
+    "make_kernel",
+]

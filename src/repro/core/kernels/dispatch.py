@@ -50,7 +50,7 @@ class DispatchKernel:
         self, state: CommunityState, active_idx: np.ndarray, remove_self: bool = True
     ) -> DecideResult:
         active_idx = np.asarray(active_idx, dtype=np.int64)
-        degrees = np.diff(state.graph.indptr)[active_idx]
+        degrees = state.graph.degrees[active_idx]
         small = degrees < self.threshold
 
         n_act = len(active_idx)

@@ -1,0 +1,501 @@
+"""Incremental DecideAndMove backends + workload-aware host dispatch.
+
+The vectorised reference backend re-aggregates the full active adjacency
+every BSP iteration, even though after iteration 2-3 most rows' pair tables
+are unchanged: a vertex's ``(neighbour-community, d_C(v))`` table depends
+only on the communities of its neighbours, so it is invalidated exactly
+when a neighbour moves. This module extends the paper's Section 3.5 delta
+principle from the community-weight arrays to the aggregation itself:
+
+* :class:`PairCache` — persistent per-row pair tables with lazy
+  invalidation: ``notify_moves`` only marks the movement frontier dirty;
+  rows are re-aggregated when (and only when) they are both *active* and
+  *dirty* at query time. The re-aggregated workload is therefore never
+  larger than the full path's, and shrinks with the moved fraction.
+* :class:`IncrementalKernel` — DecideAndMove through the cache.
+* :class:`BincountKernel` — sort-free aggregation over densely relabeled
+  community ids (a host-side stand-in for the paper's hash kernel): one
+  ``np.bincount`` scatter-add into an ``n_active x k`` table replaces the
+  O(E log E) sort. Wins when the active set and its community footprint
+  are small.
+* :class:`AutoKernel` — the workload-aware host dispatcher (mirroring the
+  paper's Section 4 small/large split): per iteration it inspects the
+  active fraction and the dirty (≈ moved-neighbourhood) fraction and picks
+  the cheapest of the three paths, recording its choice and the aggregated
+  edge count for ``IterationRecord`` / ``TimerRegistry``.
+
+Bit-exactness contract: every backend produces pair tables under the shared
+summation convention of :func:`repro.core.kernels.vectorized._aggregate_pairs`
+(sequential, adjacency-ordered sums) and evaluates them with the shared
+:func:`repro.core.kernels.vectorized._evaluate_pairs`, so all backends
+return bit-identical :class:`DecideResult`\\ s — enforced by the
+cross-backend equivalence tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.vectorized import (
+    DecideResult,
+    _aggregate_pairs,
+    _evaluate_pairs,
+    _trivial_result,
+)
+from repro.core.state import CommunityState
+from repro.core.weights import movement_frontier
+from repro.utils.arrays import repeat_by_counts
+from repro.utils.timer import TimerRegistry
+
+
+class PairCache:
+    """Per-row ``(neighbour-community, d_C(v))`` tables with lazy dirtying.
+
+    Segments live in a growing append buffer addressed by per-row
+    ``(start, count)`` pointers, so replacing a row's table is an append +
+    pointer swing instead of an O(total) splice; the buffer is compacted
+    once the garbage from superseded segments exceeds the live size.
+
+    Every row starts *dirty* (never aggregated). ``store`` fills rows and
+    cleans them; ``mark_dirty`` re-dirties an invalidation set. A row's
+    cached table is valid precisely while none of its neighbours moved —
+    the invariant the caller maintains via the movement frontier.
+    """
+
+    def __init__(self, n: int):
+        self.n = n
+        self.row_start = np.zeros(n, dtype=np.int64)
+        self.row_count = np.zeros(n, dtype=np.int64)
+        self.dirty = np.ones(n, dtype=bool)
+        self.buf_c = np.empty(0, dtype=np.int64)
+        self.buf_w = np.empty(0, dtype=np.float64)
+        self.used = 0  # append cursor
+        self.live = 0  # total size of current (non-superseded) segments
+        self.seeded = False  # has any store happened yet?
+
+    def _ensure_capacity(self, extra: int) -> None:
+        need = self.used + extra
+        if need <= len(self.buf_c):
+            return
+        cap = max(need, 2 * len(self.buf_c), 1024)
+        buf_c = np.empty(cap, dtype=np.int64)
+        buf_w = np.empty(cap, dtype=np.float64)
+        buf_c[: self.used] = self.buf_c[: self.used]
+        buf_w[: self.used] = self.buf_w[: self.used]
+        self.buf_c, self.buf_w = buf_c, buf_w
+
+    def _compact(self) -> None:
+        """Drop superseded segments; pointers re-aim into a dense buffer."""
+        src = repeat_by_counts(self.row_start, self.row_count)
+        self.buf_c = self.buf_c[src]
+        self.buf_w = self.buf_w[src]
+        ends = np.cumsum(self.row_count)
+        self.row_start = ends - self.row_count
+        self.used = self.live = int(ends[-1]) if self.n else 0
+
+    def store(
+        self,
+        rows: np.ndarray,
+        pair_c: np.ndarray,
+        d_vc: np.ndarray,
+        pair_counts: np.ndarray,
+    ) -> None:
+        """Replace the tables of ``rows`` (their segments concatenated in
+        ``rows`` order in ``pair_c``/``d_vc``) and mark them clean."""
+        total = int(pair_counts.sum())
+        self.live += total - int(self.row_count[rows].sum())
+        self._ensure_capacity(total)
+        self.buf_c[self.used : self.used + total] = pair_c
+        self.buf_w[self.used : self.used + total] = d_vc
+        ends = np.cumsum(pair_counts)
+        self.row_start[rows] = self.used + ends - pair_counts
+        self.row_count[rows] = pair_counts
+        self.used += total
+        self.dirty[rows] = False
+        self.seeded = True
+        if self.used > 2 * self.live + 1024:
+            self._compact()
+
+    def mark_dirty(self, mask: np.ndarray) -> None:
+        self.dirty |= mask
+
+    def gather(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated pair tables of ``rows`` (all must be clean)."""
+        counts = self.row_count[rows]
+        idx = repeat_by_counts(self.row_start[rows], counts)
+        return self.buf_c[idx], self.buf_w[idx], counts
+
+
+class _KernelBase:
+    """Shared counter plumbing for the host kernel backends."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        #: backend that actually ran on the last call (for IterationRecord)
+        self.last_backend: str | None = None
+        #: adjacency entries re-aggregated on the last call — the workload
+        #: measure the incremental cache reduces
+        self.last_aggregated_edges: int = 0
+        self._timers: TimerRegistry | None = None
+
+    def bind_timers(self, timers: TimerRegistry) -> None:
+        """Attach a registry; per-path ``kernel_<name>`` spans get recorded."""
+        self._timers = timers
+
+    def reset(self, state: CommunityState) -> None:  # pragma: no cover
+        """Start of a phase-1 run on ``state.graph`` (stateless by default)."""
+
+    def notify_moves(
+        self,
+        state: CommunityState,
+        prev_comm: np.ndarray,
+        moved: np.ndarray,
+        frontier: np.ndarray | None = None,
+    ) -> None:  # pragma: no cover - stateless backends ignore moves
+        """BSP apply step happened; ``frontier`` is the moved-neighbourhood
+        mask when the weight updater already derived it."""
+
+
+class VectorizedKernel(_KernelBase):
+    """The reference full-aggregation path behind the backend protocol."""
+
+    name = "vectorized"
+
+    def __call__(
+        self,
+        state: CommunityState,
+        active_idx: np.ndarray,
+        remove_self: bool = True,
+    ) -> DecideResult:
+        active_idx = np.asarray(active_idx, dtype=np.int64)
+        self.last_backend = self.name
+        if state.graph.total_weight == 0.0 or len(active_idx) == 0:
+            self.last_aggregated_edges = 0
+            return _trivial_result(state, active_idx, np.zeros(len(active_idx)))
+        counts = state.graph.degrees[active_idx]
+        self.last_aggregated_edges = int(counts.sum())
+        pair_c, d_vc, pair_counts, pair_rows = _aggregate_pairs(
+            state, active_idx, counts
+        )
+        return _evaluate_pairs(
+            state, active_idx, pair_c, d_vc, pair_counts, remove_self,
+            seg_of=pair_rows,
+        )
+
+
+def _aggregate_pairs_dense(
+    state: CommunityState, active_idx: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sort-free pair aggregation via dense community relabeling.
+
+    Ranks the communities present in the gathered neighbourhood with a
+    monotone cumulative-sum LUT (order-preserving, so per-row community
+    order matches the sorted path), then scatter-adds the edge weights into
+    an ``n_active x k`` table with one ``np.bincount``. A parallel presence
+    count keeps zero-weight pairs representable. ``np.bincount`` sums each
+    slot sequentially in input (= adjacency) order — the shared exactness
+    convention — so the output is bit-identical to the sorted path.
+    """
+    g = state.graph
+    n_act = len(active_idx)
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.zeros(n_act, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    if n_act == g.n:
+        u, w, row_local = g.indices, g.weights, g.row_ids
+    else:
+        eidx = repeat_by_counts(g.indptr[active_idx], counts)
+        u = g.indices[eidx]
+        w = g.weights[eidx]
+        row_local = np.repeat(np.arange(n_act, dtype=np.int64), counts)
+    cu = state.comm[u]
+
+    present = np.zeros(g.n, dtype=bool)
+    present[cu] = True
+    rank = np.cumsum(present) - 1  # comm id -> dense rank, order-preserving
+    k = int(rank[-1]) + 1
+    slot = row_local * np.int64(k) + rank[cu]
+    table = np.int64(n_act) * k
+    d_dense = np.bincount(slot, weights=w, minlength=table)
+    occupied = np.bincount(slot, minlength=table)
+    nz = np.flatnonzero(occupied)  # ascending => rows, then comms, ascending
+    present_ids = np.flatnonzero(present)
+    pair_c = present_ids[nz % k]
+    d_vc = d_dense[nz]
+    pair_rows = nz // k
+    pair_counts = np.bincount(pair_rows, minlength=n_act).astype(np.int64)
+    return pair_c, d_vc, pair_counts, pair_rows
+
+
+def dense_feasible(
+    k_bound: int, n_active: int, active_edges: int, budget_factor: int = 64
+) -> bool:
+    """Is the ``n_active x k`` dense table affordable for this workload?
+
+    ``k_bound`` bounds the distinct communities the gather can meet (the
+    non-empty community count); the guard compares the worst-case table
+    against a multiple of the work the sorted path would do anyway.
+    """
+    return n_active * k_bound <= max(
+        budget_factor * (active_edges + 1), 1 << 16
+    )
+
+
+class BincountKernel(_KernelBase):
+    """Sort-free DecideAndMove over densely relabeled community ids.
+
+    Falls back to the sorted path (bit-identical by the shared summation
+    convention) when the dense table would exceed the workload budget —
+    e.g. a whole-graph active set over singleton communities, where
+    ``n_active x k`` is ``n^2``.
+    """
+
+    name = "bincount"
+
+    def __init__(self, budget_factor: int = 64) -> None:
+        super().__init__()
+        self.budget_factor = budget_factor
+
+    def __call__(
+        self,
+        state: CommunityState,
+        active_idx: np.ndarray,
+        remove_self: bool = True,
+    ) -> DecideResult:
+        active_idx = np.asarray(active_idx, dtype=np.int64)
+        self.last_backend = self.name
+        if state.graph.total_weight == 0.0 or len(active_idx) == 0:
+            self.last_aggregated_edges = 0
+            return _trivial_result(state, active_idx, np.zeros(len(active_idx)))
+        counts = state.graph.degrees[active_idx]
+        self.last_aggregated_edges = int(counts.sum())
+        if dense_feasible(
+            int(np.count_nonzero(state.comm_size)),
+            len(active_idx),
+            self.last_aggregated_edges,
+            self.budget_factor,
+        ):
+            pair_c, d_vc, pair_counts, pair_rows = _aggregate_pairs_dense(
+                state, active_idx, counts
+            )
+        else:
+            pair_c, d_vc, pair_counts, pair_rows = _aggregate_pairs(
+                state, active_idx, counts
+            )
+        return _evaluate_pairs(
+            state, active_idx, pair_c, d_vc, pair_counts, remove_self,
+            seg_of=pair_rows,
+        )
+
+
+class IncrementalKernel(_KernelBase):
+    """DecideAndMove through the persistent :class:`PairCache`.
+
+    Only rows that are both active and dirty are re-aggregated; clean rows'
+    tables are read back from the cache. ``last_aggregated_edges`` counts
+    the adjacency entries of the re-aggregated rows only, which is the
+    strictly-smaller workload the perf-smoke benchmark asserts.
+    """
+
+    name = "incremental"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cache: PairCache | None = None
+
+    def reset(self, state: CommunityState) -> None:
+        self.cache = PairCache(state.graph.n)
+
+    def notify_moves(
+        self,
+        state: CommunityState,
+        prev_comm: np.ndarray,
+        moved: np.ndarray,
+        frontier: np.ndarray | None = None,
+    ) -> None:
+        if self.cache is None:
+            return
+        if frontier is None:
+            frontier = movement_frontier(state.graph, moved)
+        self.cache.mark_dirty(frontier)
+
+    def __call__(
+        self,
+        state: CommunityState,
+        active_idx: np.ndarray,
+        remove_self: bool = True,
+    ) -> DecideResult:
+        active_idx = np.asarray(active_idx, dtype=np.int64)
+        self.last_backend = self.name
+        if state.graph.total_weight == 0.0 or len(active_idx) == 0:
+            self.last_aggregated_edges = 0
+            return _trivial_result(state, active_idx, np.zeros(len(active_idx)))
+        if self.cache is None or self.cache.n != state.graph.n:
+            self.cache = PairCache(state.graph.n)
+        cache = self.cache
+
+        stale = active_idx[cache.dirty[active_idx]]
+        self.last_aggregated_edges = int(state.graph.degrees[stale].sum())
+        if len(stale):
+            pair_c, d_vc, pair_counts, pair_rows = _aggregate_pairs(
+                state, stale
+            )
+            cache.store(stale, pair_c, d_vc, pair_counts)
+        if len(stale) == len(active_idx):
+            # Nothing came from the cache: reuse the freshly built tables
+            # instead of gathering them straight back out.
+            return _evaluate_pairs(
+                state, active_idx, pair_c, d_vc, pair_counts, remove_self,
+                seg_of=pair_rows,
+            )
+        pair_c, d_vc, pair_counts = cache.gather(active_idx)
+        return _evaluate_pairs(
+            state, active_idx, pair_c, d_vc, pair_counts, remove_self
+        )
+
+
+class AutoKernel(_KernelBase):
+    """Workload-aware host dispatcher over the three aggregation paths.
+
+    Per iteration (paper Section 4 in spirit — pick the kernel whose cost
+    model fits the workload), driven by one *staleness signal*: the
+    fraction of the active set whose pair tables the cache cannot (or
+    could not, if seeded now) serve.
+
+    * warm cache: the signal is ``min(dirty∧active fraction, frontier
+      estimate)`` — the second term lets the dispatcher *re-seed* a cache
+      that went wholesale-stale once churn has died down.
+    * cold cache: the signal is the last movement frontier restricted to
+      this active set — exactly what the dirty∧active fraction would be
+      had the cache been seeded last sweep (1.0 before any notification,
+      i.e. iteration 0 never pays store overhead).
+    * ``signal < dense_dirty_frac`` — the incremental path: re-aggregate
+      only the active∧dirty rows, serve the rest from the cache. Note
+      this wins even on *full* active sets (unpruned tail sweeps where
+      few vertices move — the classic Louvain endgame).
+    * otherwise full re-aggregation: the plain vectorized path when the
+      active fraction is at least ``full_threshold``, else the sort-free
+      bincount path when the dense table fits the budget (falling back to
+      vectorized when it does not).
+
+    The chosen path and its aggregated-edge count are exposed via
+    ``last_backend`` / ``last_aggregated_edges``; when timers are bound,
+    each call is recorded under ``kernel_<backend>``.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        full_threshold: float = 0.5,
+        dense_dirty_frac: float = 0.9,
+        dense_budget_factor: int = 64,
+    ):
+        super().__init__()
+        self.full_threshold = full_threshold
+        self.dense_dirty_frac = dense_dirty_frac
+        self.dense_budget_factor = dense_budget_factor
+        self.vectorized = VectorizedKernel()
+        self.bincount = BincountKernel()
+        self.incremental = IncrementalKernel()
+        #: the rows the last BSP apply invalidated (None before the first
+        #: move notification) — the cold-seed churn estimator reads this
+        self._last_frontier: np.ndarray | None = None
+
+    def reset(self, state: CommunityState) -> None:
+        self.incremental.reset(state)
+        self._last_frontier = None
+
+    def notify_moves(
+        self,
+        state: CommunityState,
+        prev_comm: np.ndarray,
+        moved: np.ndarray,
+        frontier: np.ndarray | None = None,
+    ) -> None:
+        if frontier is None:
+            frontier = movement_frontier(state.graph, moved)
+        self._last_frontier = frontier
+        self.incremental.notify_moves(state, prev_comm, moved, frontier)
+
+    def _full_backend(
+        self, state: CommunityState, active_idx: np.ndarray
+    ) -> _KernelBase:
+        """Full re-aggregation: sort-free when the dense table is cheap."""
+        if dense_feasible(
+            int(np.count_nonzero(state.comm_size)),
+            len(active_idx),
+            int(state.graph.degrees[active_idx].sum()),
+            self.dense_budget_factor,
+        ):
+            return self.bincount
+        return self.vectorized
+
+    def _choose(
+        self, state: CommunityState, active_idx: np.ndarray
+    ) -> _KernelBase:
+        n = state.graph.n
+        n_act = len(active_idx)
+        if n_act == 0:
+            return self.vectorized
+        # Staleness signal: what fraction of the active rows would need
+        # re-aggregation on the incremental path (see the class docstring).
+        # A strided subsample is plenty — the signal only steers dispatch,
+        # every choice returns bit-identical results.
+        probe = active_idx[:: max(n_act // 4096, 1)]
+        if self._last_frontier is not None and len(self._last_frontier) == n:
+            signal = float(self._last_frontier[probe].mean())
+        else:
+            signal = 1.0  # no BSP apply observed yet: nothing reusable
+        cache = self.incremental.cache
+        if cache is not None and cache.n == n and cache.seeded:
+            signal = min(signal, float(cache.dirty[probe].mean()))
+        if signal < self.dense_dirty_frac:
+            return self.incremental
+        if n_act >= self.full_threshold * n:
+            return self.vectorized
+        return self._full_backend(state, active_idx)
+
+    def __call__(
+        self,
+        state: CommunityState,
+        active_idx: np.ndarray,
+        remove_self: bool = True,
+    ) -> DecideResult:
+        active_idx = np.asarray(active_idx, dtype=np.int64)
+        backend = self._choose(state, active_idx)
+        if self._timers is not None:
+            with self._timers.measure(f"kernel_{backend.name}"):
+                result = backend(state, active_idx, remove_self)
+        else:
+            result = backend(state, active_idx, remove_self)
+        self.last_backend = backend.name
+        self.last_aggregated_edges = backend.last_aggregated_edges
+        return result
+
+
+KERNELS = {
+    "vectorized": VectorizedKernel,
+    "bincount": BincountKernel,
+    "incremental": IncrementalKernel,
+    "auto": AutoKernel,
+}
+
+
+def make_kernel(spec: str) -> _KernelBase:
+    """Instantiate a named host kernel backend."""
+    try:
+        return KERNELS[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {spec!r}; expected one of "
+            f"{sorted(KERNELS)} or a callable"
+        ) from None

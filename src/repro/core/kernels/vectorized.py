@@ -4,13 +4,20 @@ Implements lines 14-16 of the paper's Algorithm 1 for a whole active set at
 once using segmented reductions:
 
 1. gather all adjacency entries of the active vertices;
-2. aggregate edge weights per ``(vertex, neighbour-community)`` pair via a
-   lexsort + ``reduceat`` (this is ``d_C(v)`` for every neighbouring ``C``);
+2. aggregate edge weights per ``(vertex, neighbour-community)`` pair (this
+   is ``d_C(v)`` for every neighbouring ``C``) — see :func:`_aggregate_pairs`
+   for the exactness convention every backend shares;
 3. evaluate the modularity gain of every candidate pair (Eq. 2);
 4. per-vertex segmented argmax picks the best target community, with ties
    broken toward the smaller community id (Grappolo's determinism rule);
 5. apply the movement guards (strictly-positive improvement over staying,
    and the singleton-swap guard that prevents BSP oscillation).
+
+Steps 3-5 live in :func:`_evaluate_pairs` and are shared verbatim by the
+``incremental`` and ``bincount`` backends (:mod:`repro.core.kernels.
+incremental`), which only differ in how they produce the pair table of
+step 2. That sharing — plus the common summation convention — is what makes
+the cross-backend bit-exactness contract hold by construction.
 """
 
 from __future__ import annotations
@@ -47,6 +54,30 @@ class DecideResult:
     def num_moved(self) -> int:
         return int(self.move.sum())
 
+    def restrict(self, active_idx: np.ndarray) -> "DecideResult":
+        """Project this result onto a sorted subset of its active set.
+
+        Every DecideAndMove quantity is row-local — a vertex's best target,
+        gains and movement guards depend only on its own adjacency row and
+        the shared community aggregates — so slicing a full-set result is
+        bit-identical to running the kernel on the subset directly (a test
+        invariant). The oracle path uses this to derive the pruned-set
+        result from the full-set run instead of running the kernel twice.
+        """
+        active_idx = np.asarray(active_idx, dtype=np.int64)
+        pos = np.searchsorted(self.active_idx, active_idx)
+        if np.any(pos >= len(self.active_idx)) or not np.array_equal(
+            self.active_idx[pos], active_idx
+        ):
+            raise ValueError("active_idx is not a subset of this result")
+        return DecideResult(
+            active_idx=active_idx,
+            best_comm=self.best_comm[pos],
+            best_gain=self.best_gain[pos],
+            stay_gain=self.stay_gain[pos],
+            move=self.move[pos],
+        )
+
 
 def _apply_guards(
     state: CommunityState,
@@ -74,6 +105,175 @@ def _apply_guards(
     return move
 
 
+def _trivial_result(
+    state: CommunityState, active_idx: np.ndarray, stay_gain: np.ndarray
+) -> DecideResult:
+    """Nobody-can-move result (edgeless graphs, isolated actives)."""
+    cur = state.comm[active_idx]
+    n_act = len(active_idx)
+    return DecideResult(
+        active_idx=active_idx,
+        best_comm=cur.copy(),
+        best_gain=np.full(n_act, -np.inf),
+        stay_gain=stay_gain,
+        move=np.zeros(n_act, dtype=bool),
+    )
+
+
+def _aggregate_pairs(
+    state: CommunityState,
+    active_idx: np.ndarray,
+    counts: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``d_C(v)`` pair tables for the rows of ``active_idx`` (sorted ids).
+
+    Returns ``(pair_c, d_vc, pair_counts, pair_rows)``: for each active row
+    in order, its neighbouring community ids ascending and the summed edge
+    weight into each, concatenated; ``pair_counts[i]`` pairs belong to
+    ``active_idx[i]`` and ``pair_rows`` is the local row index of every
+    pair (what ``np.repeat(arange, pair_counts)`` would rebuild — handed to
+    :func:`_evaluate_pairs` so the hot path skips that expansion).
+
+    Exactness convention (shared by every backend, documented in
+    docs/algorithm.md): each ``(v, C)`` group's weights are summed
+    **sequentially in adjacency order** (``np.bincount`` semantics). Any
+    aggregation strategy that preserves this order — a stable sort plus
+    per-group sum, a dense per-community scatter-add, or a cached copy of a
+    previous identical aggregation — produces bit-identical ``d_vc``.
+
+    Returned arrays may alias graph internals on the fast paths; callers
+    must treat them as read-only.
+    """
+    g = state.graph
+    comm = state.comm
+    n_act = len(active_idx)
+    if counts is None:
+        counts = g.degrees[active_idx]
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.zeros(n_act, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    if n_act == g.n:
+        # Full active set: the gather is the identity — use the adjacency
+        # (and the cached row-id expansion) directly.
+        u = g.indices
+        w = g.weights
+        row_local = g.row_ids
+    else:
+        eidx = repeat_by_counts(g.indptr[active_idx], counts)
+        u = g.indices[eidx]
+        w = g.weights[eidx]
+        row_local = np.repeat(np.arange(n_act, dtype=np.int64), counts)
+    cu = comm[u]
+    if np.array_equal(cu, u):
+        # Singleton fast path (every gathered neighbour is its own
+        # community — true for iteration 0 of every level): adjacency rows
+        # are already sorted by neighbour id with no duplicates, so they
+        # ARE the pair table. No sort, no summation.
+        return cu, w, np.asarray(counts, dtype=np.int64), row_local
+
+    # Sort by the packed key (row, C) -> row*n + C with a stable sort —
+    # equivalent to lexsort((cu, row_local)) but ~15x faster (single radix
+    # pass); the stability keeps same-(v, C) weights in adjacency order,
+    # which the cross-backend bit-exactness relies on. Guard the n*n key
+    # overflow (only reachable beyond ~3e9 vertices).
+    if g.n <= 3_000_000_000:
+        key = row_local * np.int64(g.n) + cu
+        order = np.argsort(key, kind="stable")
+        kord = key[order]
+        new_run = np.empty(total, dtype=bool)
+        new_run[0] = True
+        new_run[1:] = kord[1:] != kord[:-1]
+    else:  # pragma: no cover - beyond any laptop-scale graph
+        order = np.lexsort((cu, row_local))
+        sv, sc = row_local[order], cu[order]
+        new_run = np.empty(total, dtype=bool)
+        new_run[0] = True
+        new_run[1:] = (sv[1:] != sv[:-1]) | (sc[1:] != sc[:-1])
+    pair_id = np.cumsum(new_run, dtype=np.int64) - 1
+    d_vc = np.bincount(pair_id, weights=w[order])
+    starts = order[np.flatnonzero(new_run)]
+    pair_c = cu[starts]
+    pair_rows = row_local[starts]
+    pair_counts = np.bincount(pair_rows, minlength=n_act).astype(np.int64)
+    return pair_c, d_vc, pair_counts, pair_rows
+
+
+def _evaluate_pairs(
+    state: CommunityState,
+    active_idx: np.ndarray,
+    pair_c: np.ndarray,
+    d_vc: np.ndarray,
+    pair_counts: np.ndarray,
+    remove_self: bool,
+    seg_of: np.ndarray | None = None,
+) -> DecideResult:
+    """Steps 3-5 of DecideAndMove from a pair table: gains, argmax, guards.
+
+    Shared verbatim by every backend so that identical pair tables yield
+    bit-identical :class:`DecideResult`\\ s. ``seg_of`` is the local row
+    index of every pair; backends that already hold it (the sorted and
+    dense aggregations) pass it to skip the ``np.repeat`` rebuild.
+    """
+    g = state.graph
+    comm = state.comm
+    strength = g.strength
+    m = g.total_weight
+    two_m = g.two_m
+    gamma = state.resolution
+    n_act = len(active_idx)
+
+    cur = comm[active_idx]
+    act_strength = strength[active_idx]
+    cur_total = state.comm_strength[cur]
+    if remove_self:
+        cur_total = cur_total - act_strength
+    # Default stay gain: no neighbours inside the current community
+    # (overwritten below from the own-community pair where present).
+    stay_gain = (0.0 - gamma * cur_total * act_strength / two_m) / m
+
+    if len(pair_c) == 0:
+        return _trivial_result(state, active_idx, stay_gain)
+
+    # (3) candidate gains
+    if seg_of is None:
+        seg_of = np.repeat(np.arange(n_act, dtype=np.int64), pair_counts)
+    pair_strength = act_strength[seg_of]
+    pair_total = state.comm_strength[pair_c]
+    is_own = pair_c == cur[seg_of]
+    if remove_self:
+        pair_total = np.where(is_own, pair_total - pair_strength, pair_total)
+    gain = (d_vc - gamma * pair_total * pair_strength / two_m) / m
+
+    own_pairs = np.flatnonzero(is_own)
+    stay_gain[seg_of[own_pairs]] = gain[own_pairs]
+
+    # (4) per-vertex argmax over *other* communities
+    cand_gain = np.where(is_own, -np.inf, gain)
+    offsets = np.concatenate([[0], np.cumsum(pair_counts)]).astype(np.int64)
+    arg, valid = segment_argmax(cand_gain, offsets, seg_of=seg_of, check=False)
+    best_comm = np.where(valid, pair_c[arg], cur)
+    best_gain = np.where(valid, cand_gain[arg], -np.inf)
+    # A vertex whose only neighbours are in its own community has no
+    # candidate (its single pair is masked to -inf): treat as invalid.
+    valid &= np.isfinite(best_gain)
+    best_comm = np.where(valid, best_comm, cur)
+
+    # (5) guards
+    move = _apply_guards(state, active_idx, best_comm, best_gain, stay_gain, valid)
+    return DecideResult(
+        active_idx=active_idx,
+        best_comm=best_comm,
+        best_gain=best_gain,
+        stay_gain=stay_gain,
+        move=move,
+    )
+
+
 def decide_moves(
     state: CommunityState,
     active_idx: np.ndarray,
@@ -94,106 +294,18 @@ def decide_moves(
         the paper.
     """
     g = state.graph
-    comm = state.comm
-    strength = g.strength
-    m = g.total_weight
-    two_m = g.two_m
     active_idx = np.asarray(active_idx, dtype=np.int64)
     n_act = len(active_idx)
 
-    cur = comm[active_idx]
-    if m == 0.0 or n_act == 0:
+    if g.total_weight == 0.0 or n_act == 0:
         # Edgeless graph (or empty active set): nobody can move.
-        return DecideResult(
-            active_idx=active_idx,
-            best_comm=cur.copy(),
-            best_gain=np.full(n_act, -np.inf),
-            stay_gain=np.zeros(n_act),
-            move=np.zeros(n_act, dtype=bool),
-        )
+        return _trivial_result(state, active_idx, np.zeros(n_act))
 
-    # Default stay gain: no neighbours inside the current community.
-    act_strength = strength[active_idx]
-    gamma = state.resolution
-    cur_total = state.comm_strength[cur]
-    if remove_self:
-        cur_total = cur_total - act_strength
-    stay_gain = (0.0 - gamma * cur_total * act_strength / two_m) / m
-
-    counts = np.diff(g.indptr)[active_idx]
-    if counts.sum() == 0:
-        # Isolated vertices: nothing to decide.
-        return DecideResult(
-            active_idx=active_idx,
-            best_comm=cur.copy(),
-            best_gain=np.full(n_act, -np.inf),
-            stay_gain=stay_gain,
-            move=np.zeros(n_act, dtype=bool),
-        )
-
-    # (1) gather
-    eidx = repeat_by_counts(g.indptr[active_idx], counts)
-    v_edge = np.repeat(active_idx, counts)
-    u = g.indices[eidx]
-    w = g.weights[eidx]
-    cu = comm[u]
-
-    # (2) aggregate d_C(v) per (v, C) pair. Sorting by the packed key
-    # (v, C) -> v*n + C with a stable sort is equivalent to
-    # lexsort((cu, v_edge)) but ~15x faster (single radix pass); the
-    # stability keeps same-(v, C) weights in adjacency order, which the
-    # cross-backend bit-exactness relies on. Guard the n*n key overflow
-    # (only reachable beyond ~3e9 vertices).
-    if g.n <= 3_000_000_000:
-        key = v_edge * np.int64(g.n) + cu
-        order = np.argsort(key, kind="stable")
-    else:  # pragma: no cover - beyond any laptop-scale graph
-        order = np.lexsort((cu, v_edge))
-    sv, sc, sw = v_edge[order], cu[order], w[order]
-    new_run = np.empty(len(sv), dtype=bool)
-    new_run[0] = True
-    new_run[1:] = (sv[1:] != sv[:-1]) | (sc[1:] != sc[:-1])
-    starts = np.flatnonzero(new_run)
-    d_vc = np.add.reduceat(sw, starts)
-    pair_v = sv[starts]
-    pair_c = sc[starts]
-
-    # (3) candidate gains
-    pair_strength = strength[pair_v]
-    pair_total = state.comm_strength[pair_c]
-    is_own = pair_c == comm[pair_v]
-    if remove_self:
-        pair_total = np.where(is_own, pair_total - pair_strength, pair_total)
-    gain = (d_vc - gamma * pair_total * pair_strength / two_m) / m
-
-    # Stay gain from the own-community pair where present.
-    # pair_v is sorted; map each pair to its active slot.
-    slot = np.searchsorted(active_idx, pair_v)
-    own_pairs = np.flatnonzero(is_own)
-    stay_gain[slot[own_pairs]] = gain[own_pairs]
-
-    # (4) per-vertex argmax over *other* communities
-    cand_gain = np.where(is_own, -np.inf, gain)
-    offsets = np.concatenate(
-        [
-            np.searchsorted(pair_v, active_idx, side="left"),
-            [len(pair_v)],
-        ]
-    ).astype(np.int64)
-    arg, valid = segment_argmax(cand_gain, offsets)
-    best_comm = np.where(valid, pair_c[arg], cur)
-    best_gain = np.where(valid, cand_gain[arg], -np.inf)
-    # A vertex whose only neighbours are in its own community has no
-    # candidate (its single pair is masked to -inf): treat as invalid.
-    valid &= np.isfinite(best_gain)
-    best_comm = np.where(valid, best_comm, cur)
-
-    # (5) guards
-    move = _apply_guards(state, active_idx, best_comm, best_gain, stay_gain, valid)
-    return DecideResult(
-        active_idx=active_idx,
-        best_comm=best_comm,
-        best_gain=best_gain,
-        stay_gain=stay_gain,
-        move=move,
+    counts = g.degrees[active_idx]
+    pair_c, d_vc, pair_counts, pair_rows = _aggregate_pairs(
+        state, active_idx, counts
+    )
+    return _evaluate_pairs(
+        state, active_idx, pair_c, d_vc, pair_counts, remove_self,
+        seg_of=pair_rows,
     )

@@ -153,7 +153,7 @@ def leiden(
     """Full Leiden: local moving (MG-pruned GALA engine) + refinement +
     contraction on the refined partition."""
     rng = as_generator(seed)
-    base_cfg = phase1_config or Phase1Config(pruning="mg")
+    base_cfg = phase1_config or Phase1Config(pruning="mg", kernel="auto")
     current = graph
     #: current-level seed assignment for local moving (None = singletons)
     seed_comm: np.ndarray | None = None
@@ -173,6 +173,7 @@ def leiden(
             patience=base_cfg.patience,
             max_iterations=base_cfg.max_iterations,
             seed=int(rng.integers(0, 2**31 - 1)),
+            kernel=base_cfg.kernel,
         )
         p1 = run_phase1(current, cfg, initial_communities=seed_comm)
         refined = refine_partition(

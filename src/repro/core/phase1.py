@@ -25,10 +25,11 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
-from repro.core.kernels.vectorized import DecideResult, decide_moves
+from repro.core.kernels.incremental import make_kernel
+from repro.core.kernels.vectorized import DecideResult
 from repro.core.pruning.base import IterationContext, PruningStrategy, make_strategy
 from repro.core.state import CommunityState
-from repro.core.weights import make_weight_updater
+from repro.core.weights import make_weight_updater, movement_frontier
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timer import TimerRegistry
@@ -37,14 +38,17 @@ KernelFn = Callable[[CommunityState, np.ndarray, bool], DecideResult]
 
 
 def _resolve_kernel(spec: Union[str, KernelFn]) -> KernelFn:
+    """Resolve a backend name (or pass a callable through).
+
+    Stateful backends (``incremental``/``auto``) are instantiated fresh per
+    call, so every ``run_phase1`` gets its own cache.
+    """
     if callable(spec):
         return spec
-    if spec == "vectorized":
-        return lambda state, idx, remove_self: decide_moves(
-            state, idx, remove_self=remove_self
-        )
+    if isinstance(spec, str):
+        return make_kernel(spec)
     raise ValueError(
-        f"unknown kernel backend {spec!r}; pass 'vectorized' or a callable"
+        f"unknown kernel backend {spec!r}; pass a backend name or a callable"
     )
 
 
@@ -76,11 +80,18 @@ class Phase1Config:
         guards converges far earlier in practice).
     oracle:
         Record ground-truth moved sets for FNR/FPR measurement (runs a full
-        unpruned DecideAndMove per iteration — measurement only).
+        unpruned DecideAndMove per iteration — measurement only; the
+        active-set result is sliced out of the full run, so oracle mode
+        costs one kernel call per iteration, not two).
     seed:
         Seed for strategy randomness (PM).
     kernel:
-        DecideAndMove backend; ``"vectorized"`` or a callable.
+        DecideAndMove backend: ``"vectorized"`` (full re-aggregation, the
+        reference), ``"incremental"`` (persistent pair cache),
+        ``"bincount"`` (sort-free dense relabel), ``"auto"`` (workload-aware
+        dispatch between the three; see
+        :mod:`repro.core.kernels.incremental`), or a callable. All named
+        backends return bit-identical decisions.
     """
 
     pruning: Union[str, PruningStrategy, None] = "none"
@@ -119,6 +130,13 @@ class IterationRecord:
     oracle_moved: Optional[int] = None
     false_negatives: Optional[int] = None
     false_positives: Optional[int] = None
+    #: aggregation path the kernel ran this iteration (None for plain
+    #: callables that don't report one)
+    kernel_backend: Optional[str] = None
+    #: adjacency entries the kernel actually re-aggregated — equals
+    #: ``active_edges`` for full backends, strictly less once the
+    #: incremental cache has clean rows to reuse
+    aggregated_edges: Optional[int] = None
 
     @property
     def inactive_rate(self) -> float:
@@ -175,6 +193,17 @@ def run_phase1(
     strategy.reset(state)
     active = strategy.initial_active(state)
 
+    # Optional backend protocol (duck-typed so plain callables keep
+    # working): cache lifecycle, timer binding, and move notification for
+    # the incremental backends.
+    kernel_reset = getattr(kernel, "reset", None)
+    if kernel_reset is not None:
+        kernel_reset(state)
+    kernel_bind = getattr(kernel, "bind_timers", None)
+    if kernel_bind is not None:
+        kernel_bind(timers)
+    kernel_notify = getattr(kernel, "notify_moves", None)
+
     q = state.modularity()
     best_q = q
     # Seed the best-state tracker with the initial state: if every sweep
@@ -184,18 +213,27 @@ def run_phase1(
     best_state: CommunityState | None = state.copy()
     bad_streak = 0
     history: list[IterationRecord] = []
-    degrees = np.diff(graph.indptr)
+    degrees = graph.degrees
     processed_vertices = 0
     processed_edges = 0
     all_idx = np.arange(graph.n, dtype=np.int64)
 
     for it in range(cfg.max_iterations):
         active_idx = np.flatnonzero(active)
+        active_edges = int(degrees[active_idx].sum())
         processed_vertices += len(active_idx)
-        processed_edges += int(degrees[active_idx].sum())
+        processed_edges += active_edges
 
+        oracle_result: DecideResult | None = None
         with timers.measure("decide_and_move"):
-            result = kernel(state, active_idx, cfg.remove_self)
+            if cfg.oracle:
+                # One full-set run serves both purposes: DecideAndMove is
+                # row-local, so the active-set result is an exact slice of
+                # the full-set result (tested invariant) — no second run.
+                oracle_result = kernel(state, all_idx, cfg.remove_self)
+                result = oracle_result.restrict(active_idx)
+            else:
+                result = kernel(state, active_idx, cfg.remove_self)
             next_comm = result.next_comm(state.comm)
         moved = next_comm != state.comm
 
@@ -207,14 +245,15 @@ def run_phase1(
             modularity=0.0,  # filled below
             delta_q=0.0,
             predicted=it > 0,
-            active_edges=int(degrees[active_idx].sum()),
+            active_edges=active_edges,
             moved_edges=int(degrees[moved].sum()),
+            kernel_backend=getattr(kernel, "last_backend", None),
+            aggregated_edges=getattr(kernel, "last_aggregated_edges", None),
         )
 
-        if cfg.oracle:
+        if oracle_result is not None:
             # Ground truth on the same snapshot: what the unpruned engine
             # would have done for every vertex.
-            oracle_result = kernel(state, all_idx, cfg.remove_self)
             oracle_next = oracle_result.next_comm(state.comm)
             oracle_moved = oracle_next != state.comm
             record.oracle_moved = int(oracle_moved.sum())
@@ -224,10 +263,14 @@ def run_phase1(
         prev_comm = state.comm
         state.comm = next_comm
         with timers.measure("weight_update"):
-            updater(state, prev_comm, moved)
+            frontier = updater(state, prev_comm, moved)
         with timers.measure("aggregate"):
             state.refresh_community_aggregates()
             next_q = state.modularity()
+        if kernel_notify is not None:
+            if frontier is None:
+                frontier = movement_frontier(graph, moved)
+            kernel_notify(state, prev_comm, moved, frontier=frontier)
 
         record.modularity = next_q
         record.delta_q = next_q - q

@@ -86,9 +86,8 @@ def neighborhood_any(state: CommunityState, flags: np.ndarray) -> np.ndarray:
     over the adjacency, a scatter-max per row.
     """
     g = state.graph
-    row = np.repeat(np.arange(g.n), np.diff(g.indptr))
     out = np.zeros(g.n, dtype=bool)
-    np.logical_or.at(out, row, flags[g.indices])
+    np.logical_or.at(out, g.row_ids, flags[g.indices])
     return out
 
 

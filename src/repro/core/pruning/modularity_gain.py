@@ -101,10 +101,9 @@ class ModularityGainPruning(PruningStrategy):
         if self.bound == "global":
             return state.min_community_strength()
         g = state.graph
-        row = np.repeat(np.arange(g.n), np.diff(g.indptr))
         nbr_strength = state.comm_strength[state.comm[g.indices]]
         out = np.full(g.n, np.inf)
-        np.minimum.at(out, row, nbr_strength)
+        np.minimum.at(out, g.row_ids, nbr_strength)
         # vertices with no neighbours cannot move anywhere: any bound works
         return np.where(np.isfinite(out), out, 0.0)
 

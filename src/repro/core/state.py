@@ -85,7 +85,7 @@ class CommunityState:
         """
         g = self.graph
         if vertices is None:
-            row = np.repeat(np.arange(g.n), np.diff(g.indptr))
+            row = g.row_ids
             same = self.comm[row] == self.comm[g.indices]
             self.d_comm[:] = 0.0
             if np.any(same):
@@ -94,7 +94,7 @@ class CommunityState:
             vertices = np.asarray(vertices)
             if len(vertices) == 0:
                 return
-            counts = np.diff(g.indptr)[vertices]
+            counts = g.degrees[vertices]
             eidx = _rows_edges(g, vertices, counts)
             row = np.repeat(vertices, counts)
             same = self.comm[row] == self.comm[g.indices[eidx]]

@@ -196,9 +196,17 @@ def run_distributed_phase1(
         if bad_streak >= cfg.patience or num_moved == 0:
             break
 
+    # Mirror the single engine's return-best semantics exactly, ties
+    # included: when the final sweep's Q bit-equals the best seen (a limit
+    # cycle), the single engine keeps the *final* state, not the snapshot —
+    # the bit-identical-assignment guarantee covers that case too.
+    if best_q > q:
+        final_comm, final_q = best_comm, best_q
+    else:
+        final_comm, final_q = state.comm.copy(), q
     return DistributedResult(
-        communities=best_comm,
-        modularity=float(best_q),
+        communities=final_comm,
+        modularity=float(final_q),
         num_iterations=iterations,
         views=views,
         stats=stats,

@@ -51,6 +51,9 @@ class CSRGraph:
     self_weight: np.ndarray
     name: str = "graph"
     _strength: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _degrees: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _row_ids: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _total_weight: Optional[float] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -72,8 +75,19 @@ class CSRGraph:
 
     @property
     def total_weight(self) -> float:
-        """``|E|``: weighted cardinality of the undirected edge set."""
-        return float(self.weights.sum()) / 2.0 + float(self.self_weight.sum())
+        """``|E|``: weighted cardinality of the undirected edge set.
+
+        Computed lazily once and cached; the graph is treated as immutable.
+        The phase-1 gain arithmetic reads this (via ``two_m``) many times
+        per iteration — recomputing the O(E) sum per access was measurable.
+        """
+        if self._total_weight is None:
+            object.__setattr__(
+                self,
+                "_total_weight",
+                float(self.weights.sum()) / 2.0 + float(self.self_weight.sum()),
+            )
+        return self._total_weight
 
     @property
     def two_m(self) -> float:
@@ -102,9 +116,34 @@ class CSRGraph:
             object.__setattr__(self, "_strength", row_sums + 2.0 * self.self_weight)
         return self._strength
 
+    @property
     def degrees(self) -> np.ndarray:
-        """Unweighted adjacency-row lengths (self-loops not counted)."""
-        return np.diff(self.indptr)
+        """Unweighted adjacency-row lengths (self-loops not counted).
+
+        Computed lazily once and cached; the graph is treated as immutable.
+        The phase-1 engine indexes this every iteration — recomputing
+        ``np.diff(indptr)`` per call was measurable overhead.
+        """
+        if self._degrees is None:
+            object.__setattr__(self, "_degrees", np.diff(self.indptr))
+        return self._degrees
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row (source-vertex) id of every stored adjacency entry.
+
+        The expansion ``np.repeat(np.arange(n), degrees)`` that every
+        whole-graph edge scan needs; cached because it is O(E) to build and
+        several hot paths (full-set DecideAndMove, d_comm recomputation,
+        movement-frontier derivation) want it each iteration.
+        """
+        if self._row_ids is None:
+            object.__setattr__(
+                self,
+                "_row_ids",
+                np.repeat(np.arange(self.n, dtype=np.int64), self.degrees),
+            )
+        return self._row_ids
 
     # ------------------------------------------------------------------ #
     # Row access

@@ -30,7 +30,7 @@ def degree_order(graph: CSRGraph, descending: bool = True) -> np.ndarray:
     """Permutation ``order`` with ``order[k]`` = old id of new vertex ``k``,
     sorted by adjacency-row length (stable, so equal degrees keep their
     original relative order)."""
-    deg = graph.degrees()
+    deg = graph.degrees
     key = -deg if descending else deg
     return np.argsort(key, kind="stable")
 

@@ -63,7 +63,10 @@ def segment_max(
 
 
 def segment_argmax(
-    values: np.ndarray, offsets: np.ndarray
+    values: np.ndarray,
+    offsets: np.ndarray,
+    seg_of: np.ndarray | None = None,
+    check: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-segment argmax.
 
@@ -71,21 +74,30 @@ def segment_argmax(
     ``values`` of the first maximal element of segment ``i`` ("first" in
     array order, which gives deterministic tie-breaking), and ``valid[i]`` is
     False for empty segments (whose ``idx`` is meaningless).
+
+    ``seg_of`` (the segment id of every element) is derivable from
+    ``offsets``; callers that already hold it can pass it to skip the
+    ``np.repeat``. ``check=False`` skips offset validation for hot callers
+    that construct offsets by cumsum (valid by construction).
     """
-    _check_offsets(values, offsets)
+    if check:
+        _check_offsets(values, offsets)
     n_seg = len(offsets) - 1
-    seg_of = np.repeat(np.arange(n_seg), np.diff(offsets))
-    valid = offsets[1:] > offsets[:-1]
+    starts = offsets[:-1]
+    valid = offsets[1:] > starts
     idx = np.zeros(n_seg, dtype=np.int64)
     if len(values) == 0:
         return idx, valid
-    maxima = segment_max(values, offsets)
+    if seg_of is None:
+        seg_of = np.repeat(np.arange(n_seg), np.diff(offsets))
+    maxima = np.full(n_seg, -np.inf)
+    maxima[valid] = np.maximum.reduceat(values, starts[valid])
     is_max = values == maxima[seg_of]
     # First maximal position per segment: among positions flagged is_max,
-    # take the minimum global index per segment.
+    # take the minimum global index per segment (min-reduce over segments).
     pos = np.where(is_max, np.arange(len(values)), len(values))
     first = np.full(n_seg, len(values), dtype=np.int64)
-    np.minimum.at(first, seg_of, pos)
+    first[valid] = np.minimum.reduceat(pos, starts[valid])
     idx[valid] = first[valid]
     return idx, valid
 
@@ -103,10 +115,77 @@ def repeat_by_counts(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
-    seg_starts = np.repeat(np.asarray(starts, dtype=np.int64), counts)
+    # arange(total) already walks each segment; shifting every segment by
+    # (start - output offset) lands it on [start, start+count) — one repeat
+    # instead of two.
     offs = np.concatenate([[0], np.cumsum(counts)[:-1]])
-    within = np.arange(total, dtype=np.int64) - np.repeat(offs, counts)
-    return seg_starts + within
+    shift = np.repeat(np.asarray(starts, dtype=np.int64) - offs, counts)
+    return np.arange(total, dtype=np.int64) + shift
+
+
+def segment_gather(
+    offsets: np.ndarray, rows: np.ndarray, *arrays: np.ndarray
+) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+    """Gather the segments of ``rows`` from CSR-style ``arrays``.
+
+    ``offsets`` is the indptr of the segmented arrays; ``rows`` selects
+    segments (in the given order, duplicates allowed). Returns
+    ``(sub_offsets, gathered)`` where ``sub_offsets`` is the indptr of the
+    gathered selection and each gathered array is the concatenation of the
+    selected segments. The workhorse of the incremental kernel's pair-cache
+    queries.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    counts = np.diff(offsets)[rows]
+    sub_offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    idx = repeat_by_counts(np.asarray(offsets, dtype=np.int64)[rows], counts)
+    return sub_offsets, tuple(a[idx] for a in arrays)
+
+
+def segment_replace(
+    offsets: np.ndarray,
+    arrays: tuple[np.ndarray, ...],
+    rows: np.ndarray,
+    new_counts: np.ndarray,
+    new_arrays: tuple[np.ndarray, ...],
+) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+    """Replace the segments of ``rows`` with new contents (invalidate+merge).
+
+    ``rows`` must be sorted unique segment ids; ``new_arrays`` hold the
+    replacement segments concatenated in ``rows`` order with per-segment
+    lengths ``new_counts``. Untouched segments are copied through verbatim.
+    Returns ``(out_offsets, out_arrays)`` — a fresh, contiguous segmented
+    layout. O(total output size).
+    """
+    if len(arrays) != len(new_arrays):
+        raise ValueError("arrays and new_arrays must align")
+    rows = np.asarray(rows, dtype=np.int64)
+    new_counts = np.asarray(new_counts, dtype=np.int64)
+    if len(rows) != len(new_counts):
+        raise ValueError("rows and new_counts must have equal length")
+    counts = np.diff(offsets).astype(np.int64)
+    n_seg = len(counts)
+    counts = counts.copy()
+    counts[rows] = new_counts
+    out_offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    out_arrays = tuple(
+        np.empty(out_offsets[-1], dtype=a.dtype) for a in arrays
+    )
+    keep = np.ones(n_seg, dtype=bool)
+    keep[rows] = False
+    keep_rows = np.flatnonzero(keep)
+    src = repeat_by_counts(
+        np.asarray(offsets, dtype=np.int64)[keep_rows], counts[keep_rows]
+    )
+    dst = repeat_by_counts(out_offsets[keep_rows], counts[keep_rows])
+    for out, a in zip(out_arrays, arrays):
+        out[dst] = a[src]
+    dst_new = repeat_by_counts(out_offsets[rows], new_counts)
+    for out, na in zip(out_arrays, new_arrays):
+        if len(na) != new_counts.sum():
+            raise ValueError("new_arrays length must equal new_counts total")
+        out[dst_new] = na
+    return out_offsets, out_arrays
 
 
 def compact_relabel(labels: np.ndarray) -> tuple[np.ndarray, int]:

@@ -57,10 +57,12 @@ class TestReporting:
 
 class TestHarness:
     def test_registry_complete(self):
-        # one experiment per paper table/figure + the dataset table
+        # one experiment per paper table/figure + the dataset table,
+        # plus the beyond-the-paper kernel-backend crossover study
         assert set(EXPERIMENTS) == {
             "table2", "fig1", "table1", "fig4", "fig5", "fig6", "fig7",
             "table3", "table4", "fig8", "fig9", "fig10", "stress",
+            "kernels",
         }
 
     def test_list_experiments(self):

@@ -1,0 +1,223 @@
+"""Cross-backend equivalence tests for the DecideAndMove kernels.
+
+The non-negotiable contract of :mod:`repro.core.kernels.incremental`:
+every backend (vectorized / incremental / bincount / auto) returns a
+bit-identical :class:`DecideResult` to the reference ``decide_moves``, for
+any active set, any resolution, and both ``remove_self`` conventions —
+the shared sequential-summation convention makes this hold exactly, not
+approximately. These tests drive the backends both directly (with the
+full cache lifecycle, so clean-row reuse is actually exercised) and
+through ``run_phase1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels.incremental import (
+    AutoKernel,
+    BincountKernel,
+    IncrementalKernel,
+    PairCache,
+    VectorizedKernel,
+    dense_feasible,
+    make_kernel,
+)
+from repro.core.kernels.vectorized import decide_moves
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.core.state import CommunityState
+from repro.core.weights import delta_update
+from repro.graph.generators import ring_of_cliques
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.graph.generators.rmat import rmat_graph
+
+BACKENDS = ["vectorized", "incremental", "bincount", "auto"]
+GAMMAS = [0.5, 1.0, 2.0]
+
+
+@pytest.fixture(scope="module", params=["ring", "lfr", "rmat"])
+def graph(request):
+    if request.param == "ring":
+        return ring_of_cliques(8, 6)
+    if request.param == "lfr":
+        return lfr_graph(LFRParams(n=300, seed=1))[0]
+    return rmat_graph(8, edge_factor=8.0, seed=3)
+
+
+def _assert_results_equal(res, ref):
+    """Bit-exact DecideResult comparison (floats compared with ==)."""
+    np.testing.assert_array_equal(res.active_idx, ref.active_idx)
+    np.testing.assert_array_equal(res.best_comm, ref.best_comm)
+    np.testing.assert_array_equal(res.best_gain, ref.best_gain)
+    np.testing.assert_array_equal(res.stay_gain, ref.stay_gain)
+    np.testing.assert_array_equal(res.move, ref.move)
+
+
+class TestDirectCallEquivalence:
+    @pytest.mark.parametrize("gamma", GAMMAS)
+    @pytest.mark.parametrize("remove_self", [True, False])
+    def test_bit_identical_through_cache_lifecycle(
+        self, graph, gamma, remove_self
+    ):
+        """Drive every backend through 4 BSP sweeps with shrinking active
+        sets, applying moves and notifying between sweeps — so the
+        incremental cache actually serves clean rows, not just a cold
+        full aggregation."""
+        kernels = {name: make_kernel(name) for name in BACKENDS}
+        state = CommunityState.singletons(graph, resolution=gamma)
+        for k in kernels.values():
+            k.reset(state)
+        rng = np.random.default_rng(7)
+        for it in range(4):
+            if it == 0:
+                idx = np.arange(graph.n, dtype=np.int64)
+            else:
+                idx = np.flatnonzero(rng.random(graph.n) < 0.4)
+            ref = decide_moves(state, idx, remove_self=remove_self)
+            for name, k in kernels.items():
+                _assert_results_equal(k(state, idx, remove_self), ref)
+            next_comm = ref.next_comm(state.comm)
+            moved = next_comm != state.comm
+            prev = state.comm
+            state.comm = next_comm
+            frontier = delta_update(state, prev, moved)
+            state.refresh_community_aggregates()
+            for k in kernels.values():
+                k.notify_moves(state, prev, moved, frontier=frontier)
+
+    def test_empty_active_set(self, graph):
+        state = CommunityState.singletons(graph)
+        idx = np.empty(0, dtype=np.int64)
+        ref = decide_moves(state, idx)
+        for name in BACKENDS:
+            k = make_kernel(name)
+            k.reset(state)
+            _assert_results_equal(k(state, idx, True), ref)
+
+
+class TestRunPhase1Equivalence:
+    @pytest.mark.parametrize("gamma", GAMMAS)
+    @pytest.mark.parametrize("remove_self", [True, False])
+    def test_histories_bit_identical(self, graph, gamma, remove_self):
+        cfg = dict(
+            pruning="mg", resolution=gamma, remove_self=remove_self
+        )
+        ref = run_phase1(graph, Phase1Config(kernel="vectorized", **cfg))
+        for name in BACKENDS[1:]:
+            r = run_phase1(graph, Phase1Config(kernel=name, **cfg))
+            np.testing.assert_array_equal(r.communities, ref.communities)
+            assert r.modularity == ref.modularity
+            assert len(r.history) == len(ref.history)
+            for ha, hb in zip(r.history, ref.history):
+                assert ha.num_moved == hb.num_moved
+                assert ha.modularity == hb.modularity
+
+
+class TestIncrementalCache:
+    def test_clean_rows_not_reaggregated(self, graph):
+        """After a full-set seed and a no-move apply step, a follow-up
+        query re-aggregates nothing (the whole point of the cache)."""
+        k = IncrementalKernel()
+        state = CommunityState.singletons(graph)
+        k.reset(state)
+        idx = np.arange(graph.n, dtype=np.int64)
+        k(state, idx, True)
+        assert k.last_aggregated_edges == graph.num_directed_edges
+        no_moves = np.zeros(graph.n, dtype=bool)
+        k.notify_moves(state, state.comm, no_moves, frontier=no_moves)
+        res = k(state, idx[: graph.n // 2], True)
+        assert k.last_aggregated_edges == 0
+        _assert_results_equal(res, decide_moves(state, idx[: graph.n // 2]))
+
+    def test_frontier_rows_reaggregated(self, graph):
+        """Dirtying one vertex's neighbourhood re-aggregates exactly that
+        neighbourhood (plus nothing) on the next full query."""
+        k = IncrementalKernel()
+        state = CommunityState.singletons(graph)
+        k.reset(state)
+        idx = np.arange(graph.n, dtype=np.int64)
+        k(state, idx, True)
+        frontier = np.zeros(graph.n, dtype=bool)
+        frontier[graph.neighbors(0)] = True
+        frontier[0] = True
+        k.notify_moves(state, state.comm, np.zeros(graph.n, bool), frontier)
+        res = k(state, idx, True)
+        expected = int(graph.degrees[np.flatnonzero(frontier)].sum())
+        assert k.last_aggregated_edges == expected
+        _assert_results_equal(res, decide_moves(state, idx))
+
+
+class TestPairCache:
+    def test_rows_start_dirty(self):
+        cache = PairCache(5)
+        assert cache.dirty.all()
+
+    def test_store_gather_roundtrip(self):
+        cache = PairCache(4)
+        rows = np.array([1, 3])
+        pair_c = np.array([7, 9, 2])
+        d_vc = np.array([1.5, 2.5, 0.5])
+        counts = np.array([2, 1])
+        cache.store(rows, pair_c, d_vc, counts)
+        assert not cache.dirty[[1, 3]].any()
+        assert cache.dirty[[0, 2]].all()
+        c, w, n = cache.gather(np.array([3, 1]))
+        np.testing.assert_array_equal(c, [2, 7, 9])
+        np.testing.assert_array_equal(w, [0.5, 1.5, 2.5])
+        np.testing.assert_array_equal(n, [1, 2])
+
+    def test_replacement_supersedes_and_compacts(self):
+        cache = PairCache(2)
+        rng = np.random.default_rng(0)
+        for round_ in range(50):
+            counts = rng.integers(1, 6, size=2)
+            total = int(counts.sum())
+            pair_c = rng.integers(0, 100, size=total)
+            d_vc = rng.random(total)
+            cache.store(np.array([0, 1]), pair_c, d_vc, counts)
+            c, w, n = cache.gather(np.array([0, 1]))
+            np.testing.assert_array_equal(c, pair_c)
+            np.testing.assert_array_equal(w, d_vc)
+            np.testing.assert_array_equal(n, counts)
+        # superseded segments must not accumulate unboundedly
+        assert cache.used <= 2 * cache.live + 1024
+
+    def test_mark_dirty(self):
+        cache = PairCache(3)
+        cache.store(
+            np.arange(3), np.zeros(3, np.int64), np.zeros(3), np.ones(3, np.int64)
+        )
+        mask = np.array([True, False, True])
+        cache.mark_dirty(mask)
+        np.testing.assert_array_equal(cache.dirty, mask)
+
+
+class TestDispatch:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            make_kernel("quantum")
+
+    def test_auto_records_choice(self, graph):
+        r = run_phase1(graph, Phase1Config(pruning="mg", kernel="auto"))
+        names = {"vectorized", "bincount", "incremental"}
+        assert all(h.kernel_backend in names for h in r.history)
+        assert all(
+            h.aggregated_edges is not None
+            and h.aggregated_edges <= h.active_edges
+            for h in r.history
+        )
+        # iteration 0 is a full-set sweep: the dispatcher must not pay
+        # cache overhead there
+        assert r.history[0].kernel_backend == "vectorized"
+
+    def test_dense_feasible_bounds(self):
+        # singleton whole-graph sweep (k = n): never feasible at size
+        assert not dense_feasible(10**5, 10**5, 10**6)
+        # tiny problems always fit the floor
+        assert dense_feasible(100, 100, 0)
+
+    def test_backend_classes_exported(self):
+        assert isinstance(make_kernel("vectorized"), VectorizedKernel)
+        assert isinstance(make_kernel("bincount"), BincountKernel)
+        assert isinstance(make_kernel("auto"), AutoKernel)

@@ -112,6 +112,51 @@ class TestOracle:
         if len(r.history) > 1:
             assert r.history[1].predicted is True
 
+    def test_oracle_does_not_change_result(self, karate):
+        """Oracle mode slices the active-set result out of the full-set
+        run — the trajectory must match a non-oracle run bit for bit."""
+        a = run_phase1(karate, Phase1Config(pruning="mg"))
+        b = run_phase1(karate, Phase1Config(pruning="mg", oracle=True))
+        np.testing.assert_array_equal(a.communities, b.communities)
+        assert a.modularity == b.modularity
+        assert [h.num_moved for h in a.history] == [
+            h.num_moved for h in b.history
+        ]
+
+    def test_oracle_single_kernel_call_per_iteration(self, karate):
+        """The oracle must not run DecideAndMove twice per iteration: one
+        full-set call serves both the oracle and the pruned engine."""
+        from repro.core.kernels.vectorized import decide_moves
+
+        calls = []
+
+        def spy(state, idx, remove_self):
+            calls.append(len(idx))
+            return decide_moves(state, idx, remove_self=remove_self)
+
+        r = run_phase1(
+            karate, Phase1Config(pruning="mg", oracle=True, kernel=spy)
+        )
+        assert len(calls) == r.num_iterations
+        assert all(c == karate.n for c in calls)
+
+    def test_restrict_is_exact_slice(self, karate):
+        """DecideAndMove is row-local: restricting a full-set result to a
+        subset equals running the kernel on the subset directly."""
+        from repro.core.kernels.vectorized import decide_moves
+        from repro.core.state import CommunityState
+
+        state = CommunityState.singletons(karate)
+        full = decide_moves(state, np.arange(karate.n, dtype=np.int64))
+        subset = np.array([0, 3, 5, 12, 33], dtype=np.int64)
+        direct = decide_moves(state, subset)
+        sliced = full.restrict(subset)
+        np.testing.assert_array_equal(sliced.active_idx, direct.active_idx)
+        np.testing.assert_array_equal(sliced.best_comm, direct.best_comm)
+        np.testing.assert_array_equal(sliced.best_gain, direct.best_gain)
+        np.testing.assert_array_equal(sliced.stay_gain, direct.stay_gain)
+        np.testing.assert_array_equal(sliced.move, direct.move)
+
 
 class TestConfigValidation:
     def test_bad_kernel_rejected(self, karate):

@@ -24,7 +24,7 @@ class TestBasicProperties:
         np.testing.assert_allclose(triangles.strength, [2, 2, 3, 3, 2, 2])
 
     def test_degrees(self, triangles):
-        np.testing.assert_array_equal(triangles.degrees(), [2, 2, 3, 3, 2, 2])
+        np.testing.assert_array_equal(triangles.degrees, [2, 2, 3, 3, 2, 2])
 
     def test_neighbors_sorted_views(self, triangles):
         nbrs = triangles.neighbors(2)

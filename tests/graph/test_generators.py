@@ -26,7 +26,7 @@ class TestClassic:
         g = clique(5)
         g.validate()
         assert g.n == 5 and g.num_edges == 10
-        assert np.all(g.degrees() == 4)
+        assert np.all(g.degrees == 4)
 
     def test_clique_rejects_zero(self):
         with pytest.raises(GeneratorParameterError):
@@ -50,12 +50,12 @@ class TestClassic:
         g.validate()
         assert g.n == 34 and g.num_edges == 78
         # canonical degrees of vertices 0 and 33
-        assert g.degrees()[0] == 16 and g.degrees()[33] == 17
+        assert g.degrees[0] == 16 and g.degrees[33] == 17
 
     def test_star_and_path(self):
         s = star(6)
         s.validate()
-        assert s.degrees()[0] == 6
+        assert s.degrees[0] == 6
         p = path_graph(5)
         p.validate()
         assert p.num_edges == 4
@@ -115,7 +115,7 @@ class TestRMAT:
 
     def test_degree_skew(self):
         g = rmat_graph(11, edge_factor=16, seed=1)
-        deg = g.degrees()
+        deg = g.degrees
         # power-law-ish: max degree far above mean
         assert deg.max() > 5 * deg.mean()
 
@@ -148,7 +148,7 @@ class TestLFR:
 
     def test_degrees_near_targets(self, lfr_small):
         g, _ = lfr_small
-        deg = g.degrees()
+        deg = g.degrees
         assert deg.mean() >= 4.0  # min_degree=5, minus small stub loss
         assert deg.max() <= 35
 

@@ -42,7 +42,7 @@ class TestContiguous:
         g = rmat_graph(11, seed=5)
         p = partition_contiguous(g, 4)
         loads = p.edge_loads(g)
-        assert loads.max() <= 2.0 * loads.mean() + g.degrees().max()
+        assert loads.max() <= 2.0 * loads.mean() + g.degrees.max()
 
     def test_single_part(self, ring):
         p = partition_contiguous(ring, 1)
@@ -58,7 +58,7 @@ class TestByDegree:
         g = rmat_graph(11, seed=5)
         greedy = partition_by_degree(g, 4).edge_loads(g)
         # LPT must be near-perfectly balanced
-        assert greedy.max() <= 1.1 * greedy.mean() + g.degrees().max()
+        assert greedy.max() <= 1.1 * greedy.mean() + g.degrees.max()
 
     def test_rejects_zero_parts(self, ring):
         with pytest.raises(PartitionError):

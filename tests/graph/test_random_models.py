@@ -56,11 +56,11 @@ class TestBarabasiAlbert:
     def test_minimum_degree(self):
         g = barabasi_albert(200, 3, seed=2)
         # every vertex after the seed attaches with >= 3 edges
-        assert g.degrees().min() >= 3
+        assert g.degrees.min() >= 3
 
     def test_heavy_tail(self):
         g = barabasi_albert(1000, 2, seed=3)
-        deg = g.degrees()
+        deg = g.degrees
         assert deg.max() > 6 * deg.mean()
 
     def test_parameter_validation(self):
@@ -74,7 +74,7 @@ class TestWattsStrogatz:
     def test_beta_zero_is_ring_lattice(self):
         g = watts_strogatz(50, 4, 0.0, seed=1)
         g.validate()
-        assert np.all(g.degrees() == 4)
+        assert np.all(g.degrees == 4)
         assert g.num_edges == 100
 
     def test_rewiring_changes_structure(self):

@@ -44,7 +44,7 @@ class TestDegreeHistogram:
         g = rmat_graph(9, seed=1)
         edges, counts = degree_histogram(g)
         assert counts.sum() == np.sum(
-            (g.degrees() >= edges[0]) & (g.degrees() < edges[-1])
+            (g.degrees >= edges[0]) & (g.degrees < edges[-1])
         ) or counts.sum() <= g.n
 
     def test_log_binning_monotone_edges(self, karate):
