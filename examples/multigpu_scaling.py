@@ -57,10 +57,15 @@ def main(scale: float = 0.25) -> None:
 
 def halo_exchange_demo(scale: float = 0.25) -> None:
     """Vite-style distributed ranks: halo exchange vs full broadcast."""
+    from repro.bench.reporting import format_table, trace_rows
     from repro.distributed import DistributedConfig, run_distributed_phase1
 
     graph = load_dataset("OR", scale)
     print("\nVite-style halo exchange (distributed-memory model):")
+    r2 = run_distributed_phase1(graph, DistributedConfig(num_ranks=2))
+    print(format_table(trace_rows(r2.history),
+                       title="per-iteration trace (2 ranks):"))
+    print()
     print(f"{'ranks':>5} | {'halo KB':>8} | {'broadcast KB':>12} | saved")
     for k in [2, 4, 8]:
         r = run_distributed_phase1(graph, DistributedConfig(num_ranks=k))

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.engine import ConvergenceTracker
 from repro.core.kernels.vectorized import decide_moves
 from repro.core.state import CommunityState
 from repro.core.weights import delta_update
@@ -61,9 +62,11 @@ def run_batched_phase1(
     boundaries = np.linspace(0, n, num_batches + 1).astype(np.int64)
 
     q = state.modularity()
-    best_q = q
-    best_comm = state.comm.copy()
-    bad_streak = 0
+    # The batched baseline reports the best assignment seen (it never keeps
+    # a final oscillating sweep), so it reads the tracker's best directly.
+    tracker = ConvergenceTracker(
+        theta=theta, patience=patience, initial_q=q, snapshot=state.comm.copy()
+    )
     history: list[float] = []
 
     for _ in range(max_iterations):
@@ -84,18 +87,13 @@ def run_batched_phase1(
                 state.refresh_community_aggregates()
         next_q = state.modularity()
         history.append(next_q)
-        improved = next_q >= best_q + theta
-        if next_q > best_q:
-            best_q = next_q
-            best_comm = state.comm.copy()
-        q = next_q
-        bad_streak = 0 if improved else bad_streak + 1
-        if bad_streak >= patience or total_moved == 0:
+        tracker.update(next_q, state.comm.copy)
+        if tracker.converged or total_moved == 0:
             break
 
     return BatchedResult(
-        communities=best_comm,
-        modularity=float(best_q),
+        communities=tracker.best,
+        modularity=float(tracker.best_q),
         num_iterations=len(history),
         num_batches=num_batches,
         history=history,

@@ -63,6 +63,46 @@ def format_series(
     return f"{name:16s} [{spark}] last={values[-1]:.4g} peak={hi:.4g}"
 
 
+#: IterationTrace columns every runtime populates, in display order
+_TRACE_BASE_COLUMNS = ("iteration", "num_active", "num_moved", "modularity")
+#: optional IterationTrace columns, shown only when some record carries a
+#: non-default value (kernel accounting on the local runtime, sync/comm
+#: accounting on the multi-GPU and distributed ones)
+_TRACE_OPTIONAL_COLUMNS = (
+    "kernel_backend",
+    "aggregated_edges",
+    "comm_bytes",
+    "comm_messages",
+    "sim_cycles",
+)
+
+
+def trace_rows(history: Sequence) -> list[dict]:
+    """Render a unified :class:`~repro.core.engine.IterationTrace` history
+    as table rows.
+
+    Works on any engine-driven runtime's history (local, multi-GPU,
+    distributed): the shared movement/modularity columns always appear,
+    and a runtime's cost/comm columns appear exactly when it populated
+    them. Pair with :func:`format_table`.
+    """
+    optional = [
+        c
+        for c in _TRACE_OPTIONAL_COLUMNS
+        if any(getattr(h, c, None) for h in history)
+    ]
+    rows = []
+    for h in history:
+        row = {c: getattr(h, c) for c in _TRACE_BASE_COLUMNS}
+        sp = getattr(h, "sync_plan", None)
+        if sp is not None:
+            row["sync"] = sp.mode.value
+        for c in optional:
+            row[c] = getattr(h, c)
+        rows.append(row)
+    return rows
+
+
 def backend_crossover_rows(history: Sequence) -> list[dict]:
     """Collapse a phase-1 history into contiguous same-backend spans.
 

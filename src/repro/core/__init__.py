@@ -7,12 +7,29 @@ Public entry points:
 * :func:`repro.core.phase1.run_phase1` — one phase-1 optimisation of the
   BSP parallel Louvain algorithm (paper Algorithm 1), configurable pruning
   strategy / weight-update mode / kernel backend.
+* :mod:`repro.core.engine` — the unified BSP loop every runtime (local,
+  multi-GPU, distributed) is driven by: the :class:`Executor` protocol,
+  :class:`ConvergenceTracker`, and the shared :class:`IterationTrace`
+  record schema.
 * :func:`repro.core.modularity.modularity` — Newman modularity (Eq. 1).
 """
 
 from repro.core.modularity import modularity, modularity_gain_matrix
 from repro.core.state import CommunityState
-from repro.core.phase1 import Phase1Config, Phase1Result, run_phase1
+from repro.core.engine import (
+    ConvergenceTracker,
+    EngineConfig,
+    EngineResult,
+    Executor,
+    IterationTrace,
+    run_engine,
+)
+from repro.core.phase1 import (
+    LocalExecutor,
+    Phase1Config,
+    Phase1Result,
+    run_phase1,
+)
 from repro.core.louvain import LouvainResult, louvain
 from repro.core.gala import gala, GalaConfig
 from repro.core.leiden import leiden, LeidenResult, refine_partition, split_disconnected_communities
@@ -22,6 +39,13 @@ __all__ = [
     "modularity",
     "modularity_gain_matrix",
     "CommunityState",
+    "ConvergenceTracker",
+    "EngineConfig",
+    "EngineResult",
+    "Executor",
+    "IterationTrace",
+    "run_engine",
+    "LocalExecutor",
     "Phase1Config",
     "Phase1Result",
     "run_phase1",

@@ -1,0 +1,367 @@
+"""The unified BSP phase-1 engine (paper Algorithm 1, written once).
+
+The paper's optimisation loop — decide → apply/sync → weight-update →
+prune → converge — is the same whether DecideAndMove runs on one host
+kernel, on partitioned simulated GPUs, or on distributed ranks with halo
+exchange. This module is that loop, written exactly once and parameterized
+by an :class:`Executor`:
+
+* :meth:`Executor.decide` proposes the next assignment for the active set
+  from the current BSP snapshot (every runtime's kernels are row-local, so
+  the proposal depends only on the shared snapshot — the property that
+  makes all executors bit-identical);
+* :meth:`Executor.apply_and_sync` commits the move step: replica/halo
+  synchronisation, community-weight updating, aggregate refresh;
+* :meth:`Executor.collect` attaches the runtime's cost/comm accounting
+  (kernel choice, simulated cycles, sync bytes) to the shared
+  :class:`IterationTrace` record.
+
+The engine owns everything the three pre-unification runtimes each
+hand-rolled: active-set management and pruning, the limit-cycle-proof
+convergence rule (:class:`ConvergenceTracker`), per-iteration tracing, the
+wall-clock timers, and the oracle/FNR instrumentation
+(:class:`OracleProbe`) — which therefore works identically on the local,
+multi-GPU, and distributed runtimes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.pruning.base import IterationContext, PruningStrategy, make_strategy
+from repro.core.state import CommunityState
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timer import TimerRegistry
+
+
+# --------------------------------------------------------------------- #
+# convergence
+# --------------------------------------------------------------------- #
+class ConvergenceTracker:
+    """The engine's single convergence rule (Grappolo-derived, footnote 1).
+
+    An iteration only counts as progress if it sets a new best modularity
+    by at least ``theta`` — otherwise a limit cycle (Q bouncing between two
+    values) would reset a naive last-iteration streak forever. The tracker
+    rides out up to ``patience`` consecutive non-improving iterations and
+    snapshots the best state seen, so a final oscillating sweep never costs
+    modularity. ``patience=1`` reproduces the bare Algorithm 1 termination.
+    """
+
+    def __init__(
+        self,
+        theta: float,
+        patience: int,
+        initial_q: float,
+        snapshot: Any = None,
+    ):
+        self.theta = theta
+        self.patience = patience
+        #: best modularity seen so far (seeded with the initial state's, so
+        #: a run where every sweep loses ground returns the initial state,
+        #: never a degraded one)
+        self.best_q = initial_q
+        #: snapshot associated with ``best_q``
+        self.best = snapshot
+        #: consecutive iterations without a >= theta improvement
+        self.bad_streak = 0
+
+    def update(self, next_q: float, snapshot: Callable[[], Any]) -> bool:
+        """Observe one iteration's modularity; returns whether it counted
+        as progress. ``snapshot`` is called only on a strict new best."""
+        improved = next_q >= self.best_q + self.theta
+        if next_q > self.best_q:
+            self.best_q = next_q
+            self.best = snapshot()
+        self.bad_streak = 0 if improved else self.bad_streak + 1
+        return improved
+
+    @property
+    def converged(self) -> bool:
+        return self.bad_streak >= self.patience
+
+    def select(self, final_q: float, final: Any) -> tuple[float, Any]:
+        """Pick the returned (q, state): the best snapshot when it strictly
+        beats the final sweep, else the final state (ties keep the final
+        state — the bit-identity guarantee covers limit cycles too)."""
+        if self.best is not None and self.best_q > final_q:
+            return self.best_q, self.best
+        return final_q, final
+
+
+# --------------------------------------------------------------------- #
+# the unified per-iteration record
+# --------------------------------------------------------------------- #
+@dataclass
+class IterationTrace:
+    """Everything observed in one BSP iteration, on any runtime.
+
+    One schema carries what the local, multi-GPU, and distributed runtimes
+    each used to record separately: movement and modularity (all runtimes),
+    kernel/backend accounting (local), synchronisation plans and simulated
+    cycles (multi-GPU), and halo-exchange volume (distributed). Fields a
+    runtime does not produce stay at their defaults, so consumers
+    (``bench/reporting.py``, ``metrics/fnr_fpr.py``) handle every runtime's
+    history uniformly.
+    """
+
+    iteration: int
+    num_active: int
+    num_moved: int
+    modularity: float
+    delta_q: float
+    #: whether the active set was an actual prediction (False in iteration 0,
+    #: where every strategy starts with all vertices active)
+    predicted: bool
+    #: adjacency entries streamed by DecideAndMove this iteration
+    active_edges: int = 0
+    #: adjacency entries of the vertices that moved (the delta weight
+    #: update's workload; Figure 8's P2 stage)
+    moved_edges: int = 0
+    #: oracle fields (populated only when the engine runs with oracle=True)
+    oracle_moved: Optional[int] = None
+    false_negatives: Optional[int] = None
+    false_positives: Optional[int] = None
+    #: aggregation path the kernel ran this iteration (None for plain
+    #: callables that don't report one)
+    kernel_backend: Optional[str] = None
+    #: adjacency entries the kernel actually re-aggregated — equals
+    #: ``active_edges`` for full backends, strictly less once the
+    #: incremental cache has clean rows to reuse
+    aggregated_edges: Optional[int] = None
+    # number of inactive vertices, set by the engine
+    num_inactive: int = 0
+    #: dense/sparse synchronisation decision (multi-GPU runtime)
+    sync_plan: Optional[Any] = None
+    #: synchronisation payload bytes this iteration (multi-GPU: the chosen
+    #: sync volume; distributed: halo-exchange bytes, all ranks summed)
+    comm_bytes: int = 0
+    #: point-to-point messages this iteration (distributed runtime)
+    comm_messages: int = 0
+    #: simulated device cycles charged this iteration (gpusim-backed
+    #: runtimes; 0.0 where no simulated device is involved)
+    sim_cycles: float = 0.0
+
+    @property
+    def inactive_rate(self) -> float:
+        """Fraction of vertices pruned this iteration (paper Figure 7)."""
+        total = self.num_active + self.num_inactive
+        return self.num_inactive / total if total else 0.0
+
+    @property
+    def unmoved_rate(self) -> float:
+        """Fraction of processed-or-not vertices that did not move."""
+        total = self.num_active + self.num_inactive
+        return 1.0 - self.num_moved / total if total else 1.0
+
+
+# --------------------------------------------------------------------- #
+# executor protocol
+# --------------------------------------------------------------------- #
+class Executor(ABC):
+    """One runtime's implementation of the per-iteration BSP stages.
+
+    An executor owns its :class:`CommunityState` (mutated in place as the
+    engine drives it) plus whatever runtime resources it needs (kernel
+    caches, simulated devices, rank views). The engine guarantees the call
+    order ``decide → apply_and_sync → collect`` once per iteration.
+    """
+
+    #: the shared BSP state; set in the constructor
+    state: CommunityState
+
+    def setup(self, timers: TimerRegistry) -> None:
+        """Called once before iteration 0 with the engine's timer registry."""
+        self.timers = timers
+
+    @abstractmethod
+    def decide(self, active_idx: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Propose the next assignment for the active set.
+
+        ``active_idx`` is the sorted active vertex ids, ``active`` the same
+        set as a boolean mask. Returns a full-length community array where
+        non-active entries keep their current community. Must not mutate
+        the state — the engine commits via :meth:`apply_and_sync`.
+        """
+
+    @abstractmethod
+    def apply_and_sync(self, next_comm: np.ndarray, moved: np.ndarray) -> float:
+        """Commit the BSP move step and return the new modularity.
+
+        Responsible for replica/halo synchronisation, the community-weight
+        update, and the aggregate refresh; on return ``self.state`` must be
+        the consistent snapshot of the next iteration.
+        """
+
+    def collect(self, trace: IterationTrace) -> None:
+        """Attach this runtime's cost/comm accounting to the trace."""
+
+
+# --------------------------------------------------------------------- #
+# oracle instrumentation
+# --------------------------------------------------------------------- #
+class OracleProbe:
+    """Engine-level FNR/FPR instrumentation (paper Table 1).
+
+    Ground truth is what the *unpruned* engine would do on the same BSP
+    snapshot. Every executor's decide step is row-local, so one full-set
+    decide serves both purposes: the active-set proposal is its exact
+    restriction (tested invariant) — oracle mode costs one decide over the
+    full vertex set per iteration, not two. Works identically on the
+    local, multi-GPU, and distributed executors; cost accounting in oracle
+    mode reflects the full-set decide (measurement-only, as in the paper).
+    """
+
+    def __init__(self, n: int):
+        self.all_idx = np.arange(n, dtype=np.int64)
+        self.all_active = np.ones(n, dtype=bool)
+        self._oracle_next: Optional[np.ndarray] = None
+
+    def decide(self, executor: Executor, active: np.ndarray) -> np.ndarray:
+        """Full-set decide; returns the active-set restriction."""
+        comm = executor.state.comm
+        self._oracle_next = executor.decide(self.all_idx, self.all_active)
+        next_comm = comm.copy()
+        next_comm[active] = self._oracle_next[active]
+        return next_comm
+
+    def annotate(self, trace: IterationTrace, comm: np.ndarray, active: np.ndarray) -> None:
+        """Fill the trace's oracle fields from the last full-set decide."""
+        oracle_moved = self._oracle_next != comm
+        trace.oracle_moved = int(oracle_moved.sum())
+        trace.false_negatives = int(np.sum(oracle_moved & ~active))
+        trace.false_positives = int(np.sum(~oracle_moved & active))
+
+
+# --------------------------------------------------------------------- #
+# engine configuration / result
+# --------------------------------------------------------------------- #
+@dataclass
+class EngineConfig:
+    """The loop knobs shared by every runtime (see Phase1Config for the
+    per-knob rationale)."""
+
+    pruning: Union[str, PruningStrategy, None] = "none"
+    remove_self: bool = True
+    theta: float = 1e-6
+    patience: int = 3
+    max_iterations: int = 500
+    oracle: bool = False
+    seed: SeedLike = 0
+
+
+@dataclass
+class EngineResult:
+    """Result of one engine-driven phase-1 optimisation.
+
+    This is the runtime-independent core; runtime wrappers re-expose it
+    with their own extras (devices, rank views, halo stats).
+    """
+
+    communities: np.ndarray
+    modularity: float
+    num_iterations: int
+    history: list[IterationTrace]
+    timers: TimerRegistry
+    state: CommunityState
+    #: total DecideAndMove vertex-processings (sum of active counts); the
+    #: work measure pruning reduces
+    processed_vertices: int = 0
+    #: total adjacency entries touched by DecideAndMove
+    processed_edges: int = 0
+
+
+# --------------------------------------------------------------------- #
+# the loop
+# --------------------------------------------------------------------- #
+def run_engine(executor: Executor, config: EngineConfig | None = None) -> EngineResult:
+    """Drive ``executor`` through the BSP phase-1 loop to convergence."""
+    cfg = config or EngineConfig()
+    strategy = make_strategy(cfg.pruning)
+    rng = as_generator(cfg.seed)
+    timers = TimerRegistry()
+    executor.setup(timers)
+
+    state = executor.state
+    graph = state.graph
+    degrees = graph.degrees
+    strategy.reset(state)
+    active = strategy.initial_active(state)
+
+    q = state.modularity()
+    tracker = ConvergenceTracker(
+        theta=cfg.theta, patience=cfg.patience, initial_q=q, snapshot=state.copy()
+    )
+    oracle = OracleProbe(graph.n) if cfg.oracle else None
+    history: list[IterationTrace] = []
+    processed_vertices = 0
+    processed_edges = 0
+
+    for it in range(cfg.max_iterations):
+        active_idx = np.flatnonzero(active)
+        active_edges = int(degrees[active_idx].sum())
+        processed_vertices += len(active_idx)
+        processed_edges += active_edges
+
+        with timers.measure("decide_and_move"):
+            if oracle is not None:
+                next_comm = oracle.decide(executor, active)
+            else:
+                next_comm = executor.decide(active_idx, active)
+        moved = next_comm != state.comm
+
+        trace = IterationTrace(
+            iteration=it,
+            num_active=len(active_idx),
+            num_inactive=graph.n - len(active_idx),
+            num_moved=int(moved.sum()),
+            modularity=0.0,  # filled below
+            delta_q=0.0,
+            predicted=it > 0,
+            active_edges=active_edges,
+            moved_edges=int(degrees[moved].sum()),
+        )
+        if oracle is not None:
+            oracle.annotate(trace, state.comm, active)
+
+        prev_comm = state.comm
+        next_q = executor.apply_and_sync(next_comm, moved)
+
+        trace.modularity = next_q
+        trace.delta_q = next_q - q
+        executor.collect(trace)
+        history.append(trace)
+
+        tracker.update(next_q, state.copy)
+
+        with timers.measure("pruning"):
+            ctx = IterationContext(
+                state=state,
+                prev_comm=prev_comm,
+                moved=moved,
+                active=active,
+                iteration=it,
+                rng=rng,
+                remove_self=cfg.remove_self,
+            )
+            active = strategy.next_active(ctx)
+
+        q = next_q
+        if tracker.converged or trace.num_moved == 0:
+            break
+
+    q, state = tracker.select(q, state)
+    return EngineResult(
+        communities=state.comm.copy(),
+        modularity=float(q),
+        num_iterations=len(history),
+        history=history,
+        timers=timers,
+        state=state,
+        processed_vertices=processed_vertices,
+        processed_edges=processed_edges,
+    )

@@ -1,7 +1,9 @@
 """Phase 1 of the BSP parallel Louvain algorithm (paper Algorithm 1).
 
-One call to :func:`run_phase1` performs the iterative vertex-movement
-optimisation on a single graph level:
+The loop itself lives in :mod:`repro.core.engine`; this module provides
+the **local executor** — DecideAndMove through one host/gpusim kernel
+backend plus the configured community-weight updater — and the public
+:func:`run_phase1` entry point that drives it:
 
 1. ``DecideAndMove`` for every *active* vertex (the configured kernel
    backend);
@@ -9,32 +11,46 @@ optimisation on a single graph level:
 3. community-weight updating (naive recompute or GALA's delta scheme);
 4. refresh of community aggregates and modularity (lines 5-11);
 5. the pruning strategy predicts the next active set;
-6. terminate once the modularity improvement drops below ``theta``.
+6. terminate via the engine's :class:`~repro.core.engine.ConvergenceTracker`.
 
-Every iteration is recorded in an :class:`IterationRecord`, which carries
+Every iteration is recorded in an :class:`IterationTrace`, which carries
 enough to regenerate the paper's Figures 1, 7, 8 and Table 1 without any
 extra instrumentation passes. With ``oracle=True`` the engine additionally
-runs an *unpruned* DecideAndMove on the same BSP snapshot each iteration to
-obtain the ground-truth moved set that FNR/FPR measurement requires.
+derives the ground-truth moved set that FNR/FPR measurement requires from
+one full-set DecideAndMove per iteration.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from dataclasses import dataclass
+from typing import Callable, Union
 
 import numpy as np
 
+from repro.core.engine import (
+    EngineConfig,
+    EngineResult,
+    Executor,
+    IterationTrace,
+    run_engine,
+)
 from repro.core.kernels.incremental import make_kernel
 from repro.core.kernels.vectorized import DecideResult
-from repro.core.pruning.base import IterationContext, PruningStrategy, make_strategy
+from repro.core.pruning.base import PruningStrategy
 from repro.core.state import CommunityState
 from repro.core.weights import make_weight_updater, movement_frontier
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike
 from repro.utils.timer import TimerRegistry
 
 KernelFn = Callable[[CommunityState, np.ndarray, bool], DecideResult]
+
+#: the unified per-iteration record (engine schema); kept under its
+#: historical name for existing consumers
+IterationRecord = IterationTrace
+
+#: phase-1 results are plain engine results
+Phase1Result = EngineResult
 
 
 def _resolve_kernel(spec: Union[str, KernelFn]) -> KernelFn:
@@ -69,20 +85,17 @@ class Phase1Config:
         Modularity-improvement termination threshold (paper: ``1e-6``).
     patience:
         Number of consecutive below-``theta`` iterations tolerated before
-        stopping. BSP sweeps can transiently lose modularity when
-        simultaneous moves interfere and then recover (one of the
-        convergence heuristics the paper adopts from Grappolo, footnote 1);
-        the engine rides out up to ``patience`` such iterations and always
-        returns the best state seen. ``patience=1`` reproduces the bare
+        stopping; see :class:`repro.core.engine.ConvergenceTracker` for the
+        limit-cycle-proof rule. ``patience=1`` reproduces the bare
         Algorithm 1 termination.
     max_iterations:
         Hard iteration cap (safety net; BSP Louvain with the Grappolo
         guards converges far earlier in practice).
     oracle:
-        Record ground-truth moved sets for FNR/FPR measurement (runs a full
-        unpruned DecideAndMove per iteration — measurement only; the
-        active-set result is sliced out of the full run, so oracle mode
-        costs one kernel call per iteration, not two).
+        Record ground-truth moved sets for FNR/FPR measurement (one
+        full-set DecideAndMove per iteration serves as both the oracle and
+        the active-set decision — measurement only; see
+        :class:`repro.core.engine.OracleProbe`).
     seed:
         Seed for strategy randomness (PM).
     kernel:
@@ -108,67 +121,85 @@ class Phase1Config:
     seed: SeedLike = 0
     kernel: Union[str, KernelFn] = "vectorized"
 
-
-@dataclass
-class IterationRecord:
-    """Everything observed in one BSP iteration."""
-
-    iteration: int
-    num_active: int
-    num_moved: int
-    modularity: float
-    delta_q: float
-    #: whether the active set was an actual prediction (False in iteration 0,
-    #: where every strategy starts with all vertices active)
-    predicted: bool
-    #: adjacency entries streamed by DecideAndMove this iteration
-    active_edges: int = 0
-    #: adjacency entries of the vertices that moved (the delta weight
-    #: update's workload; Figure 8's P2 stage)
-    moved_edges: int = 0
-    #: oracle fields (populated only when Phase1Config.oracle is set)
-    oracle_moved: Optional[int] = None
-    false_negatives: Optional[int] = None
-    false_positives: Optional[int] = None
-    #: aggregation path the kernel ran this iteration (None for plain
-    #: callables that don't report one)
-    kernel_backend: Optional[str] = None
-    #: adjacency entries the kernel actually re-aggregated — equals
-    #: ``active_edges`` for full backends, strictly less once the
-    #: incremental cache has clean rows to reuse
-    aggregated_edges: Optional[int] = None
-
-    @property
-    def inactive_rate(self) -> float:
-        """Fraction of vertices pruned this iteration (paper Figure 7)."""
-        total = self.num_active + self.num_inactive
-        return self.num_inactive / total if total else 0.0
-
-    # number of inactive vertices, set by the engine
-    num_inactive: int = 0
-
-    @property
-    def unmoved_rate(self) -> float:
-        """Fraction of processed-or-not vertices that did not move."""
-        total = self.num_active + self.num_inactive
-        return 1.0 - self.num_moved / total if total else 1.0
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            pruning=self.pruning,
+            remove_self=self.remove_self,
+            theta=self.theta,
+            patience=self.patience,
+            max_iterations=self.max_iterations,
+            oracle=self.oracle,
+            seed=self.seed,
+        )
 
 
-@dataclass
-class Phase1Result:
-    """Result of one phase-1 optimisation."""
+class LocalExecutor(Executor):
+    """Single-runtime executor: one kernel backend, one weight updater.
 
-    communities: np.ndarray
-    modularity: float
-    num_iterations: int
-    history: list[IterationRecord]
-    timers: TimerRegistry
-    state: CommunityState
-    #: total DecideAndMove vertex-processings (sum of active counts); the
-    #: work measure pruning reduces
-    processed_vertices: int = 0
-    #: total adjacency entries touched by DecideAndMove
-    processed_edges: int = 0
+    Implements the optional kernel backend protocol (duck-typed so plain
+    callables keep working): cache lifecycle, timer binding, and move
+    notification for the incremental backends.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: Phase1Config,
+        initial_communities: np.ndarray | None = None,
+    ):
+        self.config = config
+        self.kernel = _resolve_kernel(config.kernel)
+        self.updater = make_weight_updater(config.weight_update)
+        self.remove_self = config.remove_self
+        if initial_communities is None:
+            self.state = CommunityState.singletons(
+                graph, resolution=config.resolution
+            )
+        else:
+            self.state = CommunityState.from_assignment(
+                graph, initial_communities, resolution=config.resolution
+            )
+        kernel_reset = getattr(self.kernel, "reset", None)
+        if kernel_reset is not None:
+            kernel_reset(self.state)
+        self._notify = getattr(self.kernel, "notify_moves", None)
+        #: simulated device behind a gpusim kernel, if any (per-iteration
+        #: cycle deltas feed IterationTrace.sim_cycles)
+        self._device = getattr(self.kernel, "device", None)
+        self._cycles_seen = 0.0
+
+    def setup(self, timers: TimerRegistry) -> None:
+        super().setup(timers)
+        kernel_bind = getattr(self.kernel, "bind_timers", None)
+        if kernel_bind is not None:
+            kernel_bind(timers)
+
+    def decide(self, active_idx: np.ndarray, active: np.ndarray) -> np.ndarray:
+        result = self.kernel(self.state, active_idx, self.remove_self)
+        return result.next_comm(self.state.comm)
+
+    def apply_and_sync(self, next_comm: np.ndarray, moved: np.ndarray) -> float:
+        state = self.state
+        prev_comm = state.comm
+        state.comm = next_comm
+        with self.timers.measure("weight_update"):
+            frontier = self.updater(state, prev_comm, moved)
+        with self.timers.measure("aggregate"):
+            state.refresh_community_aggregates()
+            next_q = state.modularity()
+        if self._notify is not None:
+            if frontier is None:
+                frontier = movement_frontier(state.graph, moved)
+            self._notify(state, prev_comm, moved, frontier=frontier)
+        return next_q
+
+    def collect(self, trace: IterationTrace) -> None:
+        trace.kernel_backend = getattr(self.kernel, "last_backend", None)
+        trace.aggregated_edges = getattr(self.kernel, "last_aggregated_edges", None)
+        if self._device is not None:
+            total = self._device.profiler.total_cycles
+            trace.sim_cycles = total - self._cycles_seen
+            self._cycles_seen = total
 
 
 def run_phase1(
@@ -178,141 +209,5 @@ def run_phase1(
 ) -> Phase1Result:
     """Run phase 1 on ``graph``; see the module docstring."""
     cfg = config or Phase1Config()
-    strategy = make_strategy(cfg.pruning)
-    updater = make_weight_updater(cfg.weight_update)
-    kernel = _resolve_kernel(cfg.kernel)
-    rng = as_generator(cfg.seed)
-    timers = TimerRegistry()
-
-    if initial_communities is None:
-        state = CommunityState.singletons(graph, resolution=cfg.resolution)
-    else:
-        state = CommunityState.from_assignment(
-            graph, initial_communities, resolution=cfg.resolution
-        )
-    strategy.reset(state)
-    active = strategy.initial_active(state)
-
-    # Optional backend protocol (duck-typed so plain callables keep
-    # working): cache lifecycle, timer binding, and move notification for
-    # the incremental backends.
-    kernel_reset = getattr(kernel, "reset", None)
-    if kernel_reset is not None:
-        kernel_reset(state)
-    kernel_bind = getattr(kernel, "bind_timers", None)
-    if kernel_bind is not None:
-        kernel_bind(timers)
-    kernel_notify = getattr(kernel, "notify_moves", None)
-
-    q = state.modularity()
-    best_q = q
-    # Seed the best-state tracker with the initial state: if every sweep
-    # loses ground (possible on weak-structure graphs late in the
-    # hierarchy), the engine must return the initial state, never a
-    # degraded one.
-    best_state: CommunityState | None = state.copy()
-    bad_streak = 0
-    history: list[IterationRecord] = []
-    degrees = graph.degrees
-    processed_vertices = 0
-    processed_edges = 0
-    all_idx = np.arange(graph.n, dtype=np.int64)
-
-    for it in range(cfg.max_iterations):
-        active_idx = np.flatnonzero(active)
-        active_edges = int(degrees[active_idx].sum())
-        processed_vertices += len(active_idx)
-        processed_edges += active_edges
-
-        oracle_result: DecideResult | None = None
-        with timers.measure("decide_and_move"):
-            if cfg.oracle:
-                # One full-set run serves both purposes: DecideAndMove is
-                # row-local, so the active-set result is an exact slice of
-                # the full-set result (tested invariant) — no second run.
-                oracle_result = kernel(state, all_idx, cfg.remove_self)
-                result = oracle_result.restrict(active_idx)
-            else:
-                result = kernel(state, active_idx, cfg.remove_self)
-            next_comm = result.next_comm(state.comm)
-        moved = next_comm != state.comm
-
-        record = IterationRecord(
-            iteration=it,
-            num_active=len(active_idx),
-            num_inactive=graph.n - len(active_idx),
-            num_moved=int(moved.sum()),
-            modularity=0.0,  # filled below
-            delta_q=0.0,
-            predicted=it > 0,
-            active_edges=active_edges,
-            moved_edges=int(degrees[moved].sum()),
-            kernel_backend=getattr(kernel, "last_backend", None),
-            aggregated_edges=getattr(kernel, "last_aggregated_edges", None),
-        )
-
-        if oracle_result is not None:
-            # Ground truth on the same snapshot: what the unpruned engine
-            # would have done for every vertex.
-            oracle_next = oracle_result.next_comm(state.comm)
-            oracle_moved = oracle_next != state.comm
-            record.oracle_moved = int(oracle_moved.sum())
-            record.false_negatives = int(np.sum(oracle_moved & ~active))
-            record.false_positives = int(np.sum(~oracle_moved & active))
-
-        prev_comm = state.comm
-        state.comm = next_comm
-        with timers.measure("weight_update"):
-            frontier = updater(state, prev_comm, moved)
-        with timers.measure("aggregate"):
-            state.refresh_community_aggregates()
-            next_q = state.modularity()
-        if kernel_notify is not None:
-            if frontier is None:
-                frontier = movement_frontier(graph, moved)
-            kernel_notify(state, prev_comm, moved, frontier=frontier)
-
-        record.modularity = next_q
-        record.delta_q = next_q - q
-        history.append(record)
-
-        # An iteration only counts as progress if it sets a new best by at
-        # least theta — otherwise a limit cycle (Q bouncing between two
-        # values) would reset a naive last-iteration streak forever.
-        improved = next_q >= best_q + cfg.theta
-        if next_q > best_q:
-            best_q = next_q
-            best_state = state.copy()
-
-        with timers.measure("pruning"):
-            ctx = IterationContext(
-                state=state,
-                prev_comm=prev_comm,
-                moved=moved,
-                active=active,
-                iteration=it,
-                rng=rng,
-                remove_self=cfg.remove_self,
-            )
-            active = strategy.next_active(ctx)
-
-        q = next_q
-        bad_streak = 0 if improved else bad_streak + 1
-        if bad_streak >= cfg.patience or record.num_moved == 0:
-            break
-
-    # Return the best state seen: a final oscillating sweep must not cost
-    # modularity (the engine's replacement for Grappolo's ad-hoc guards).
-    if best_state is not None and best_q > q:
-        state = best_state
-        q = best_q
-    return Phase1Result(
-        communities=state.comm.copy(),
-        modularity=q,
-        num_iterations=len(history),
-        history=history,
-        timers=timers,
-        state=state,
-        processed_vertices=processed_vertices,
-        processed_edges=processed_edges,
-    )
+    executor = LocalExecutor(graph, cfg, initial_communities)
+    return run_engine(executor, cfg.engine_config())

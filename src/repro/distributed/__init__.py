@@ -15,6 +15,7 @@ single-engine BSP result for any rank count (tested).
 from repro.distributed.halo import RankView, build_rank_views
 from repro.distributed.runtime import (
     DistributedConfig,
+    DistributedExecutor,
     DistributedResult,
     run_distributed_phase1,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "RankView",
     "build_rank_views",
     "DistributedConfig",
+    "DistributedExecutor",
     "DistributedResult",
     "run_distributed_phase1",
 ]

@@ -1,7 +1,8 @@
 """Distributed BSP phase 1 with halo exchange (Vite-style, paper ref [24]).
 
 Each simulated rank holds its own community array, valid only on its
-owned + ghost entries. Per iteration:
+owned + ghost entries. Per iteration (driven by the unified engine in
+:mod:`repro.core.engine`):
 
 1. every rank runs DecideAndMove for its owned active vertices against
    its local view (ghost community ids + globally allreduced community
@@ -25,14 +26,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import (
+    EngineConfig,
+    Executor,
+    IterationTrace,
+    run_engine,
+)
 from repro.core.kernels.vectorized import decide_moves
-from repro.core.pruning.base import IterationContext, make_strategy
 from repro.core.state import CommunityState
-from repro.core.weights import delta_update
+from repro.core.weights import make_weight_updater
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import VertexPartition, partition_contiguous
 from repro.distributed.halo import RankView, build_rank_views
-from repro.utils.rng import as_generator
 
 #: bytes per halo update record: vertex id (8) + community id (8)
 HALO_BYTES_PER_UPDATE = 16
@@ -66,12 +71,29 @@ class HaloStats:
 class DistributedConfig:
     num_ranks: int = 2
     pruning: str = "mg"
+    #: community-weight update scheme (``delta``/``recompute``) — the same
+    #: factory as the local and multi-GPU runtimes, so the Figure 6
+    #: recompute-vs-delta ablation runs distributed too
+    weight_update: str = "delta"
     remove_self: bool = True
     resolution: float = 1.0
     theta: float = 1e-6
     patience: int = 3
     max_iterations: int = 500
+    #: engine-level FNR/FPR instrumentation (measurement only)
+    oracle: bool = False
     seed: int = 0
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            pruning=self.pruning,
+            remove_self=self.remove_self,
+            theta=self.theta,
+            patience=self.patience,
+            max_iterations=self.max_iterations,
+            oracle=self.oracle,
+            seed=self.seed,
+        )
 
 
 @dataclass
@@ -79,10 +101,116 @@ class DistributedResult:
     communities: np.ndarray
     modularity: float
     num_iterations: int
+    history: list[IterationTrace]
     views: list[RankView]
     stats: HaloStats
     #: what dense broadcast of the full array every iteration would cost
     broadcast_bytes_equivalent: int = 0
+
+
+class DistributedExecutor(Executor):
+    """Rank-partitioned executor: local-mirror decide, halo-exchange apply."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: DistributedConfig,
+        partition: VertexPartition | None = None,
+    ):
+        self.config = config
+        part = partition or partition_contiguous(graph, config.num_ranks)
+        if part.num_parts != config.num_ranks:
+            raise ValueError("partition parts must match num_ranks")
+        self.partition = part
+        self.views = build_rank_views(graph, part)
+        self.updater = make_weight_updater(config.weight_update)
+        self.stats = HaloStats()
+
+        # Per-rank local community arrays. Entries outside owned+ghost are
+        # poisoned with -1 so any read of a non-mirrored vertex is caught
+        # by the equivalence assertions in apply_and_sync.
+        self.local_comm: list[np.ndarray] = []
+        for view in self.views:
+            arr = np.full(graph.n, -1, dtype=np.int64)
+            vis = view.visible()
+            arr[vis] = vis  # singleton initialisation
+            self.local_comm.append(arr)
+
+        # Shared BSP reference state for aggregates/weights. comm_strength
+        # and d_comm are maintained exactly as the single engine does;
+        # per-rank DecideAndMove reads community ids from the rank's own
+        # local array.
+        self.state = CommunityState.singletons(
+            graph, resolution=config.resolution
+        )
+        self._moved_per_rank: list[np.ndarray] = []
+        self._last_bytes = 0
+        self._last_messages = 0
+
+    def decide(self, active_idx: np.ndarray, active: np.ndarray) -> np.ndarray:
+        state = self.state
+        next_comm = state.comm.copy()
+        self._moved_per_rank = []
+        for view in self.views:
+            idx = view.owned[active[view.owned]]
+            if len(idx) == 0:
+                self._moved_per_rank.append(np.empty(0, dtype=np.int64))
+                continue
+            # the rank decides against ITS OWN mirrored ids
+            rank_state = CommunityState(
+                graph=state.graph,
+                comm=self.local_comm[view.rank],
+                d_comm=state.d_comm,
+                comm_strength=state.comm_strength,
+                comm_size=state.comm_size,
+                resolution=self.config.resolution,
+            )
+            result = decide_moves(
+                rank_state, idx, remove_self=self.config.remove_self
+            )
+            movers = idx[result.move]
+            next_comm[movers] = result.best_comm[result.move]
+            self._moved_per_rank.append(movers)
+        return next_comm
+
+    def apply_and_sync(self, next_comm: np.ndarray, moved: np.ndarray) -> float:
+        state = self.state
+
+        # Halo exchange: each rank updates its own mirror with (a) its own
+        # moves and (b) the updates it receives for its ghosts.
+        iteration_bytes = 0
+        iteration_messages = 0
+        for view, movers in zip(self.views, self._moved_per_rank):
+            self.local_comm[view.rank][movers] = next_comm[movers]
+            for dest, send_list in view.send_lists.items():
+                payload = np.intersect1d(movers, send_list, assume_unique=False)
+                if len(payload) == 0:
+                    continue
+                self.local_comm[dest][payload] = next_comm[payload]
+                iteration_bytes += len(payload) * HALO_BYTES_PER_UPDATE
+                iteration_messages += 1
+        self.stats.record(iteration_bytes, iteration_messages)
+        self._last_bytes = iteration_bytes
+        self._last_messages = iteration_messages
+
+        # Soundness of the mirrors: every rank's visible entries must
+        # match the global assignment after the exchange.
+        for view in self.views:
+            vis = view.visible()
+            np.testing.assert_array_equal(
+                self.local_comm[view.rank][vis], next_comm[vis]
+            )
+
+        # aggregate refresh (the O(#communities) AllReduce)
+        prev_comm = state.comm
+        state.comm = next_comm
+        self.updater(state, prev_comm, moved)
+        state.refresh_community_aggregates()
+        return state.modularity()
+
+    def collect(self, trace: IterationTrace) -> None:
+        trace.comm_bytes = self._last_bytes
+        trace.comm_messages = self._last_messages
 
 
 def run_distributed_phase1(
@@ -92,123 +220,16 @@ def run_distributed_phase1(
 ) -> DistributedResult:
     """Run phase 1 across simulated ranks with halo-exchange consistency."""
     cfg = config or DistributedConfig()
-    part = partition or partition_contiguous(graph, cfg.num_ranks)
-    if part.num_parts != cfg.num_ranks:
-        raise ValueError("partition parts must match num_ranks")
-    views = build_rank_views(graph, part)
-    owner = part.owner
-
-    # Per-rank local community arrays. Entries outside owned+ghost are
-    # poisoned with -1 so any read of a non-mirrored vertex is caught by
-    # the equivalence assertions below.
-    local_comm = []
-    for view in views:
-        arr = np.full(graph.n, -1, dtype=np.int64)
-        vis = view.visible()
-        arr[vis] = vis  # singleton initialisation
-        local_comm.append(arr)
-
-    # Shared BSP reference state for aggregates/weights. comm_strength and
-    # d_comm are maintained exactly as the single engine does; per-rank
-    # DecideAndMove reads community ids from the rank's own local array.
-    state = CommunityState.singletons(graph, resolution=cfg.resolution)
-    strategy = make_strategy(cfg.pruning)
-    strategy.reset(state)
-    active = strategy.initial_active(state)
-    rng = as_generator(cfg.seed)
-
-    q = state.modularity()
-    best_q = q
-    best_comm = state.comm.copy()
-    bad_streak = 0
-    stats = HaloStats()
-    iterations = 0
-
-    for it in range(cfg.max_iterations):
-        iterations += 1
-        next_comm = state.comm.copy()
-        moved_per_rank: list[np.ndarray] = []
-
-        for view in views:
-            idx = view.owned[active[view.owned]]
-            if len(idx) == 0:
-                moved_per_rank.append(np.empty(0, dtype=np.int64))
-                continue
-            # the rank decides against ITS OWN mirrored ids
-            rank_state = CommunityState(
-                graph=graph,
-                comm=local_comm[view.rank],
-                d_comm=state.d_comm,
-                comm_strength=state.comm_strength,
-                comm_size=state.comm_size,
-                resolution=cfg.resolution,
-            )
-            result = decide_moves(rank_state, idx, remove_self=cfg.remove_self)
-            movers = idx[result.move]
-            next_comm[movers] = result.best_comm[result.move]
-            moved_per_rank.append(movers)
-
-        moved = next_comm != state.comm
-        num_moved = int(moved.sum())
-
-        # Halo exchange: each rank updates its own mirror with (a) its own
-        # moves and (b) the updates it receives for its ghosts.
-        iteration_bytes = 0
-        iteration_messages = 0
-        for view, movers in zip(views, moved_per_rank):
-            local_comm[view.rank][movers] = next_comm[movers]
-            for dest, send_list in view.send_lists.items():
-                payload = np.intersect1d(movers, send_list, assume_unique=False)
-                if len(payload) == 0:
-                    continue
-                local_comm[dest][payload] = next_comm[payload]
-                iteration_bytes += len(payload) * HALO_BYTES_PER_UPDATE
-                iteration_messages += 1
-        stats.record(iteration_bytes, iteration_messages)
-
-        # Soundness of the mirrors: every rank's visible entries must
-        # match the global assignment after the exchange.
-        for view in views:
-            vis = view.visible()
-            np.testing.assert_array_equal(
-                local_comm[view.rank][vis], next_comm[vis]
-            )
-
-        # aggregate refresh (the O(#communities) AllReduce)
-        prev_comm = state.comm
-        state.comm = next_comm
-        delta_update(state, prev_comm, moved)
-        state.refresh_community_aggregates()
-        next_q = state.modularity()
-
-        improved = next_q >= best_q + cfg.theta
-        if next_q > best_q:
-            best_q = next_q
-            best_comm = state.comm.copy()
-
-        ctx = IterationContext(
-            state=state, prev_comm=prev_comm, moved=moved, active=active,
-            iteration=it, rng=rng, remove_self=cfg.remove_self,
-        )
-        active = strategy.next_active(ctx)
-        q = next_q
-        bad_streak = 0 if improved else bad_streak + 1
-        if bad_streak >= cfg.patience or num_moved == 0:
-            break
-
-    # Mirror the single engine's return-best semantics exactly, ties
-    # included: when the final sweep's Q bit-equals the best seen (a limit
-    # cycle), the single engine keeps the *final* state, not the snapshot —
-    # the bit-identical-assignment guarantee covers that case too.
-    if best_q > q:
-        final_comm, final_q = best_comm, best_q
-    else:
-        final_comm, final_q = state.comm.copy(), q
+    executor = DistributedExecutor(graph, cfg, partition)
+    result = run_engine(executor, cfg.engine_config())
     return DistributedResult(
-        communities=final_comm,
-        modularity=float(final_q),
-        num_iterations=iterations,
-        views=views,
-        stats=stats,
-        broadcast_bytes_equivalent=iterations * graph.n * 8 * cfg.num_ranks,
+        communities=result.communities,
+        modularity=result.modularity,
+        num_iterations=result.num_iterations,
+        history=result.history,
+        views=executor.views,
+        stats=executor.stats,
+        broadcast_bytes_equivalent=(
+            result.num_iterations * graph.n * 8 * cfg.num_ranks
+        ),
     )

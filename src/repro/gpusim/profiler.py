@@ -28,6 +28,9 @@ class SimProfiler:
         self.cycles[bucket] += cycles
 
     def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` occurrences to counter ``name``."""
+        if n < 0:
+            raise ValueError("cannot count a negative number of events")
         self.counters[name] += n
 
     @property

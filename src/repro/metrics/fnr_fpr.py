@@ -1,4 +1,4 @@
-"""FNR / FPR aggregation over oracle-instrumented phase-1 runs.
+"""FNR / FPR aggregation over oracle-instrumented engine runs.
 
 Paper Table 1 definitions:
 
@@ -11,6 +11,11 @@ Paper Table 1 definitions:
 
 Both are averaged over the *predicted* iterations (iteration 0, where
 every strategy processes everything by construction, is excluded).
+
+All helpers consume the unified :class:`~repro.core.engine.IterationTrace`
+history, so they accept results from any engine-driven runtime — local
+(:func:`repro.core.phase1.run_phase1`), multi-GPU, or distributed — run
+with ``oracle=True``.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.phase1 import IterationRecord, Phase1Result
+from repro.core.engine import EngineResult, IterationTrace
 
 
 @dataclass(frozen=True)
@@ -43,7 +48,7 @@ class PruningRates:
         }
 
 
-def _predicted(history: list[IterationRecord]) -> list[IterationRecord]:
+def _predicted(history: list[IterationTrace]) -> list[IterationTrace]:
     recs = [h for h in history if h.predicted]
     for h in recs:
         if h.oracle_moved is None:
@@ -54,7 +59,7 @@ def _predicted(history: list[IterationRecord]) -> list[IterationRecord]:
 
 
 def pruning_rates(
-    result: Phase1Result, strategy: str = "", graph: str = ""
+    result: EngineResult, strategy: str = "", graph: str = ""
 ) -> PruningRates:
     """Aggregate FNR/FPR from an oracle-instrumented run.
 
@@ -87,7 +92,7 @@ def pruning_rates(
     )
 
 
-def average_inactive_rate(result: Phase1Result, skip_first: bool = True) -> float:
+def average_inactive_rate(result: EngineResult, skip_first: bool = True) -> float:
     """Mean fraction of pruned vertices per iteration (Figures 1b / 7)."""
     recs = [h for h in result.history if h.predicted or not skip_first]
     if not recs:
@@ -95,11 +100,11 @@ def average_inactive_rate(result: Phase1Result, skip_first: bool = True) -> floa
     return float(np.mean([h.inactive_rate for h in recs]))
 
 
-def inactive_rate_series(result: Phase1Result) -> np.ndarray:
+def inactive_rate_series(result: EngineResult) -> np.ndarray:
     """Per-iteration inactive rate, for the iteration-by-iteration plots."""
     return np.array([h.inactive_rate for h in result.history])
 
 
-def unmoved_rate_series(result: Phase1Result) -> np.ndarray:
+def unmoved_rate_series(result: EngineResult) -> np.ndarray:
     """Per-iteration fraction of vertices that did not move (Figure 1b)."""
     return np.array([h.unmoved_rate for h in result.history])

@@ -8,13 +8,21 @@ the changed vertices only, switched adaptively on communication volume.
 """
 
 from repro.multigpu.sync import SyncMode, SyncPlan, choose_sync_mode
-from repro.multigpu.runtime import MultiGpuConfig, MultiGpuResult, run_multigpu_phase1
+from repro.multigpu.runtime import (
+    MultiGpuConfig,
+    MultiGpuExecutor,
+    MultiGpuIteration,
+    MultiGpuResult,
+    run_multigpu_phase1,
+)
 
 __all__ = [
     "SyncMode",
     "SyncPlan",
     "choose_sync_mode",
     "MultiGpuConfig",
+    "MultiGpuExecutor",
+    "MultiGpuIteration",
     "MultiGpuResult",
     "run_multigpu_phase1",
 ]

@@ -1,6 +1,7 @@
 """Multi-GPU BSP phase-1 runtime (paper Section 4.3, Figure 10).
 
-Each simulated device owns a vertex partition. Per iteration:
+Each simulated device owns a vertex partition. Per iteration (driven by
+the unified engine in :mod:`repro.core.engine`):
 
 1. every device runs DecideAndMove for its *owned, active* vertices and is
    charged a computation cost proportional to the adjacency it streamed
@@ -23,8 +24,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import (
+    EngineConfig,
+    Executor,
+    IterationTrace,
+    run_engine,
+)
 from repro.core.kernels.vectorized import decide_moves
-from repro.core.pruning.base import IterationContext, make_strategy
 from repro.core.state import CommunityState
 from repro.core.weights import make_weight_updater
 from repro.graph.csr import CSRGraph
@@ -39,7 +45,10 @@ from repro.multigpu.sync import (
     dense_sync_comm,
     sparse_sync_comm,
 )
-from repro.utils.rng import as_generator
+
+#: the unified per-iteration record (engine schema); kept under the
+#: historical multi-GPU name for existing consumers
+MultiGpuIteration = IterationTrace
 
 
 @dataclass
@@ -51,22 +60,27 @@ class MultiGpuConfig:
     pruning: str = "mg"
     weight_update: str = "delta"
     remove_self: bool = True
+    resolution: float = 1.0
     theta: float = 1e-6
     patience: int = 3
     max_iterations: int = 500
+    #: engine-level FNR/FPR instrumentation (measurement only — the
+    #: full-set decide is charged to the devices, so leave this off for
+    #: the Figure 10 timing experiments)
+    oracle: bool = False
     seed: int = 0
     device_config: DeviceConfig = field(default_factory=DeviceConfig)
 
-
-@dataclass
-class MultiGpuIteration:
-    """Per-iteration record: what moved and what the sync cost."""
-
-    iteration: int
-    num_active: int
-    num_moved: int
-    modularity: float
-    sync_plan: SyncPlan
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            pruning=self.pruning,
+            remove_self=self.remove_self,
+            theta=self.theta,
+            patience=self.patience,
+            max_iterations=self.max_iterations,
+            oracle=self.oracle,
+            seed=self.seed,
+        )
 
 
 @dataclass
@@ -76,7 +90,7 @@ class MultiGpuResult:
     communities: np.ndarray
     modularity: float
     num_iterations: int
-    history: list[MultiGpuIteration]
+    history: list[IterationTrace]
     devices: list[Device]
     partition: VertexPartition
 
@@ -122,70 +136,76 @@ def _estimate_decide_cycles(
     return cycles
 
 
-def run_multigpu_phase1(
-    graph: CSRGraph,
-    config: MultiGpuConfig | None = None,
-    partition: VertexPartition | None = None,
-) -> MultiGpuResult:
-    """Run phase 1 distributed over ``config.num_gpus`` simulated devices."""
-    cfg = config or MultiGpuConfig()
-    part = partition or partition_contiguous(graph, cfg.num_gpus)
-    if part.num_parts != cfg.num_gpus:
-        raise ValueError("partition parts must match num_gpus")
-    devices = [
-        Device(config=cfg.device_config, device_id=i) for i in range(cfg.num_gpus)
-    ]
-    communicator = Communicator(devices)
-    owned_masks = [part.owner == i for i in range(cfg.num_gpus)]
+class MultiGpuExecutor(Executor):
+    """Partitioned executor: per-device decide, NCCL-synchronised apply."""
 
-    strategy = make_strategy(cfg.pruning)
-    updater = make_weight_updater(cfg.weight_update)
-    rng = as_generator(cfg.seed)
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: MultiGpuConfig,
+        partition: VertexPartition | None = None,
+    ):
+        self.config = config
+        self.partition = partition or partition_contiguous(graph, config.num_gpus)
+        if self.partition.num_parts != config.num_gpus:
+            raise ValueError("partition parts must match num_gpus")
+        self.devices = [
+            Device(config=config.device_config, device_id=i)
+            for i in range(config.num_gpus)
+        ]
+        self.communicator = Communicator(self.devices)
+        self.owned_masks = [
+            self.partition.owner == i for i in range(config.num_gpus)
+        ]
+        self.updater = make_weight_updater(config.weight_update)
+        self.state = CommunityState.singletons(
+            graph, resolution=config.resolution
+        )
+        self._moved_ids_per_rank: list[np.ndarray] = []
+        self._last_plan: SyncPlan | None = None
+        self._cycles_seen = 0.0
 
-    state = CommunityState.singletons(graph)
-    strategy.reset(state)
-    active = strategy.initial_active(state)
-    q = state.modularity()
-    best_q = q
-    best_state = None
-    bad_streak = 0
-    history: list[MultiGpuIteration] = []
-
-    for it in range(cfg.max_iterations):
+    def decide(self, active_idx: np.ndarray, active: np.ndarray) -> np.ndarray:
+        state = self.state
+        graph = state.graph
         next_comm = state.comm.copy()
-        moved_ids_per_rank: list[np.ndarray] = []
-        total_active = 0
-
-        # (1) per-device DecideAndMove on owned active vertices
-        for dev, mask in zip(devices, owned_masks):
+        self._moved_ids_per_rank = []
+        for dev, mask in zip(self.devices, self.owned_masks):
             idx = np.flatnonzero(active & mask)
-            total_active += len(idx)
             if len(idx):
-                result = decide_moves(state, idx, remove_self=cfg.remove_self)
+                result = decide_moves(
+                    state, idx, remove_self=self.config.remove_self
+                )
                 movers = idx[result.move]
                 next_comm[movers] = result.best_comm[result.move]
-                moved_ids_per_rank.append(movers)
+                self._moved_ids_per_rank.append(movers)
             else:
-                moved_ids_per_rank.append(np.empty(0, dtype=np.int64))
+                self._moved_ids_per_rank.append(np.empty(0, dtype=np.int64))
             dev.profiler.charge(
                 "compute", _estimate_decide_cycles(graph, idx, dev)
             )
+        return next_comm
 
-        moved = next_comm != state.comm
+    def apply_and_sync(self, next_comm: np.ndarray, moved: np.ndarray) -> float:
+        cfg = self.config
+        state = self.state
         num_moved = int(moved.sum())
 
-        # (2) synchronise the new assignment across devices
-        plan = choose_sync_mode(graph.n, num_moved, cfg.sync_mode)
+        # synchronise the new assignment across devices
+        plan = choose_sync_mode(state.graph.n, num_moved, cfg.sync_mode)
+        self._last_plan = plan
         if plan.mode is SyncMode.DENSE:
             merged = dense_sync_comm(
-                [next_comm] * cfg.num_gpus, owned_masks, communicator
+                [next_comm] * cfg.num_gpus, self.owned_masks, self.communicator
             )
         else:
-            merged = sparse_sync_comm(next_comm, moved_ids_per_rank, communicator)
+            merged = sparse_sync_comm(
+                next_comm, self._moved_ids_per_rank, self.communicator
+            )
             if cfg.num_gpus > 1:
                 # local scatter overhead of the sparse representation — a
                 # bulk rearrangement kernel, so charged at streaming rates
-                for dev in devices:
+                for dev in self.devices:
                     dev.profiler.charge(
                         "comm_sparse_scatter",
                         dev.config.cost.access(
@@ -194,52 +214,43 @@ def run_multigpu_phase1(
                     )
         np.testing.assert_array_equal(merged, next_comm)  # sync soundness
 
-        # (3) apply + update (every device holds the merged state; charge
-        # the weight-update stream to the owners)
+        # apply + update (every device holds the merged state; charge the
+        # weight-update stream to the owners)
         prev_comm = state.comm
         state.comm = merged
-        updater(state, prev_comm, moved)
+        self.updater(state, prev_comm, moved)
         state.refresh_community_aggregates()
-        for dev, mask in zip(devices, owned_masks):
+        for dev, mask in zip(self.devices, self.owned_masks):
             movers_owned = int(np.sum(moved & mask))
             dev.profiler.charge(
-                "compute", dev.config.cost.access(MemoryKind.GLOBAL, max(movers_owned, 1)),
+                "compute",
+                dev.config.cost.access(MemoryKind.GLOBAL, max(movers_owned, 1)),
             )
+        return state.modularity()
 
-        next_q = state.modularity()
-        history.append(
-            MultiGpuIteration(it, total_active, num_moved, next_q, plan)
-        )
-        # Progress = a new best by >= theta (limit-cycle-proof; see the
-        # single-GPU engine for the rationale).
-        improved = next_q >= best_q + cfg.theta
-        if next_q > best_q:
-            best_q = next_q
-            best_state = state.copy()
+    def collect(self, trace: IterationTrace) -> None:
+        trace.sync_plan = self._last_plan
+        if self._last_plan is not None:
+            trace.comm_bytes = self._last_plan.chosen_bytes
+        total = sum(d.profiler.total_cycles for d in self.devices)
+        trace.sim_cycles = total - self._cycles_seen
+        self._cycles_seen = total
 
-        ctx = IterationContext(
-            state=state,
-            prev_comm=prev_comm,
-            moved=moved,
-            active=active,
-            iteration=it,
-            rng=rng,
-            remove_self=cfg.remove_self,
-        )
-        active = strategy.next_active(ctx)
-        q = next_q
-        bad_streak = 0 if improved else bad_streak + 1
-        if bad_streak >= cfg.patience or num_moved == 0:
-            break
 
-    if best_state is not None and best_q > q:
-        state = best_state
-        q = best_q
+def run_multigpu_phase1(
+    graph: CSRGraph,
+    config: MultiGpuConfig | None = None,
+    partition: VertexPartition | None = None,
+) -> MultiGpuResult:
+    """Run phase 1 distributed over ``config.num_gpus`` simulated devices."""
+    cfg = config or MultiGpuConfig()
+    executor = MultiGpuExecutor(graph, cfg, partition)
+    result = run_engine(executor, cfg.engine_config())
     return MultiGpuResult(
-        communities=state.comm.copy(),
-        modularity=q,
-        num_iterations=len(history),
-        history=history,
-        devices=devices,
-        partition=part,
+        communities=result.communities,
+        modularity=result.modularity,
+        num_iterations=result.num_iterations,
+        history=result.history,
+        devices=executor.devices,
+        partition=executor.partition,
     )

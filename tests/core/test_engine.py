@@ -1,0 +1,174 @@
+"""Tests for the unified BSP engine: ConvergenceTracker, the shared
+IterationTrace schema, and the engine-level oracle on every runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    ConvergenceTracker,
+    EngineResult,
+    IterationTrace,
+)
+from repro.core.phase1 import (
+    IterationRecord,
+    Phase1Config,
+    Phase1Result,
+    run_phase1,
+)
+from repro.bench.reporting import format_table, trace_rows
+from repro.distributed import DistributedConfig, run_distributed_phase1
+from repro.graph.generators import load_dataset, ring_of_cliques
+from repro.metrics.fnr_fpr import pruning_rates
+from repro.multigpu import MultiGpuConfig, run_multigpu_phase1
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("OR", scale=0.1)
+
+
+class TestConvergenceTracker:
+    def test_improvement_resets_streak(self):
+        t = ConvergenceTracker(theta=1e-6, patience=2, initial_q=0.0)
+        assert t.update(0.1, lambda: "a")
+        assert not t.converged
+        assert t.best_q == 0.1
+        assert t.best == "a"
+
+    def test_patience_rides_out_bad_iterations(self):
+        t = ConvergenceTracker(theta=1e-6, patience=3, initial_q=0.5)
+        t.update(0.4, lambda: "x")
+        t.update(0.4, lambda: "x")
+        assert not t.converged
+        t.update(0.4, lambda: "x")
+        assert t.converged
+
+    def test_limit_cycle_does_not_reset_streak(self):
+        """Q bouncing between two values below best+theta must still
+        converge — the failure mode of a naive last-iteration streak."""
+        t = ConvergenceTracker(theta=1e-6, patience=3, initial_q=0.5)
+        for q in (0.49, 0.5, 0.49, 0.5):
+            t.update(q, lambda: "x")
+            if t.converged:
+                break
+        assert t.converged
+
+    def test_sub_theta_gain_updates_best_without_progress(self):
+        t = ConvergenceTracker(theta=1e-2, patience=1, initial_q=0.5)
+        assert not t.update(0.505, lambda: "better")
+        assert t.best_q == 0.505
+        assert t.best == "better"
+        assert t.converged
+
+    def test_select_prefers_strict_best(self):
+        t = ConvergenceTracker(theta=1e-6, patience=3, initial_q=0.0, snapshot="s0")
+        t.update(0.3, lambda: "peak")
+        t.update(0.2, lambda: "later")
+        assert t.select(0.2, "final") == (0.3, "peak")
+        # ties keep the final state (limit-cycle bit-identity guarantee)
+        assert t.select(0.3, "final") == (0.3, "final")
+
+    def test_seeded_snapshot_guards_degrading_runs(self):
+        t = ConvergenceTracker(theta=1e-6, patience=1, initial_q=0.8, snapshot="init")
+        t.update(0.1, lambda: "worse")
+        assert t.select(0.1, "worse") == (0.8, "init")
+
+
+class TestUnifiedTraceSchema:
+    def test_phase1_aliases_are_engine_types(self):
+        assert IterationRecord is IterationTrace
+        assert Phase1Result is EngineResult
+
+    def test_every_runtime_emits_iteration_traces(self, graph):
+        local = run_phase1(graph, Phase1Config(pruning="mg"))
+        multi = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=2))
+        dist = run_distributed_phase1(graph, DistributedConfig(num_ranks=2))
+        for r in (local, multi, dist):
+            assert all(isinstance(h, IterationTrace) for h in r.history)
+        # identical trajectory: same per-iteration move counts everywhere
+        moves = [h.num_moved for h in local.history]
+        assert [h.num_moved for h in multi.history] == moves
+        assert [h.num_moved for h in dist.history] == moves
+
+    def test_runtime_specific_fields(self, graph):
+        local = run_phase1(graph, Phase1Config(pruning="mg", kernel="auto"))
+        multi = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=2))
+        dist = run_distributed_phase1(graph, DistributedConfig(num_ranks=2))
+        assert all(h.kernel_backend for h in local.history)
+        assert all(h.sync_plan is not None for h in multi.history)
+        assert all(h.sim_cycles > 0 for h in multi.history)
+        assert any(h.comm_bytes > 0 for h in dist.history)
+        assert any(h.comm_messages > 0 for h in dist.history)
+        # distributed halo bytes mirror the stats series exactly
+        assert [h.comm_bytes for h in dist.history] == dist.stats.bytes_per_iteration
+
+    def test_trace_rows_renders_any_runtime(self, graph):
+        local = run_phase1(graph, Phase1Config(pruning="mg", kernel="auto"))
+        dist = run_distributed_phase1(graph, DistributedConfig(num_ranks=2))
+        lrows = trace_rows(local.history)
+        drows = trace_rows(dist.history)
+        assert "kernel_backend" in lrows[0] and "comm_bytes" not in lrows[0]
+        assert "comm_bytes" in drows[0] and "kernel_backend" not in drows[0]
+        assert format_table(lrows) and format_table(drows)
+
+    def test_multigpu_trace_records_sync_volume(self, graph):
+        multi = run_multigpu_phase1(graph, MultiGpuConfig(num_gpus=2))
+        for h in multi.history:
+            assert h.comm_bytes == h.sync_plan.chosen_bytes
+
+
+class TestEngineOracle:
+    """The oracle probe is engine-level: FNR/FPR instrumentation works on
+    every runtime and yields identical ground truth (same BSP snapshots)."""
+
+    @pytest.mark.parametrize("strategy", ["mg", "rm"])
+    def test_all_runtimes_agree_with_local_oracle(self, graph, strategy):
+        local = run_phase1(graph, Phase1Config(pruning=strategy, oracle=True, seed=17))
+        multi = run_multigpu_phase1(
+            graph, MultiGpuConfig(num_gpus=2, pruning=strategy, oracle=True, seed=17)
+        )
+        dist = run_distributed_phase1(
+            graph, DistributedConfig(num_ranks=2, pruning=strategy, oracle=True, seed=17)
+        )
+        ref = pruning_rates(local, strategy=strategy)
+        for other in (multi, dist):
+            got = pruning_rates(other, strategy=strategy)
+            assert got.fnr == pytest.approx(ref.fnr, abs=1e-12)
+            assert got.fpr == pytest.approx(ref.fpr, abs=1e-12)
+            assert got.total_false_negatives == ref.total_false_negatives
+            assert got.total_false_positives == ref.total_false_positives
+
+    def test_oracle_does_not_change_trajectory(self, graph):
+        plain = run_phase1(graph, Phase1Config(pruning="mg"))
+        probed = run_phase1(graph, Phase1Config(pruning="mg", oracle=True))
+        np.testing.assert_array_equal(plain.communities, probed.communities)
+        assert [h.num_moved for h in plain.history] == [
+            h.num_moved for h in probed.history
+        ]
+
+    def test_oracle_required_for_rates(self, graph):
+        result = run_phase1(graph, Phase1Config(pruning="mg"))
+        with pytest.raises(ValueError):
+            pruning_rates(result)
+
+
+class TestDistributedWeightUpdateFactory:
+    """Satellite: distributed goes through make_weight_updater, so the
+    recompute-vs-delta ablation (Figure 6) runs on all runtimes."""
+
+    def test_recompute_matches_delta(self, graph):
+        delta = run_distributed_phase1(
+            graph, DistributedConfig(num_ranks=2, weight_update="delta")
+        )
+        recompute = run_distributed_phase1(
+            graph, DistributedConfig(num_ranks=2, weight_update="recompute")
+        )
+        np.testing.assert_array_equal(delta.communities, recompute.communities)
+        assert delta.modularity == pytest.approx(recompute.modularity, abs=1e-12)
+
+    def test_unknown_mode_rejected(self):
+        g = ring_of_cliques(4, 4)
+        with pytest.raises(ValueError):
+            run_distributed_phase1(
+                g, DistributedConfig(num_ranks=2, weight_update="bogus")
+            )

@@ -59,6 +59,12 @@ class TestProfiler:
         with pytest.raises(ValueError):
             SimProfiler().charge("a", -1.0)
 
+    def test_negative_count_rejected(self):
+        p = SimProfiler()
+        with pytest.raises(ValueError):
+            p.count("hit", -1)
+        assert p.counters.get("hit", 0) == 0  # nothing partially applied
+
     def test_counters_and_rate(self):
         p = SimProfiler()
         p.count("hit", 3)
@@ -74,6 +80,26 @@ class TestProfiler:
         a.merge(b)
         assert a.cycles["x"] == 3.0
         assert a.counters["n"] == 5
+
+    def test_snapshot_merge_round_trip(self):
+        """Splitting work across profilers and merging reproduces the
+        single-profiler snapshot exactly."""
+        whole = SimProfiler()
+        part_a, part_b = SimProfiler(), SimProfiler()
+        for p in (whole, part_a):
+            p.charge("compute", 12.5)
+            p.count("probes", 7)
+        for p in (whole, part_b):
+            p.charge("compute", 2.5)
+            p.charge("sync", 4.0)
+            p.count("probes", 3)
+            p.count("messages", 2)
+        part_a.merge(part_b)
+        assert part_a.snapshot() == whole.snapshot()
+        # merging an empty profiler is the identity
+        before = part_a.snapshot()
+        part_a.merge(SimProfiler())
+        assert part_a.snapshot() == before
 
     def test_reset_and_snapshot(self):
         p = SimProfiler()
