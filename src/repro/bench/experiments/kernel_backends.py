@@ -30,11 +30,19 @@ from repro.bench.workloads import bench_scale, load_suite
 from repro.core.phase1 import Phase1Config, run_phase1
 
 GRAPHS = ["LJ", "OR"]
-BACKENDS = ["vectorized", "incremental", "bincount", "auto"]
+#: host backends plus the simulated GPU dispatch (batched SoA engine) —
+#: all bound by the same bit-exactness contract, so the gpusim row shows
+#: how close the simulator now runs to the host kernels wall-clock-wise
+BACKENDS = ["vectorized", "incremental", "bincount", "auto", "gpusim"]
 
 
 def _run_backend(graph, backend: str):
-    cfg = Phase1Config(pruning="mg", kernel=backend)
+    kernel: str | object = backend
+    if backend == "gpusim":
+        from repro.core.kernels.dispatch import make_gpusim_kernel
+
+        kernel = make_gpusim_kernel(engine="batched")
+    cfg = Phase1Config(pruning="mg", kernel=kernel)
     t0 = time.perf_counter()
     result = run_phase1(graph, cfg)
     elapsed = time.perf_counter() - t0

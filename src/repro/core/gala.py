@@ -43,6 +43,11 @@ class GalaConfig:
     #: to pin one path. All choices are bit-identical; see
     #: :mod:`repro.core.kernels.incremental`.
     kernel: str = "auto"
+    #: execution engine for the ``"gpusim"`` backend: ``"batched"``
+    #: (structure-of-arrays, the default) or ``"scalar"`` (one vertex per
+    #: Python iteration — the bit-exact reference). ``None`` defers to the
+    #: ``REPRO_GPUSIM_ENGINE`` environment variable.
+    gpusim_engine: Optional[str] = None
     #: gain convention (True = Grappolo/standard; see DESIGN.md)
     remove_self: bool = True
     #: resolution gamma (1.0 = classic modularity; >1 favours smaller
@@ -67,7 +72,7 @@ class GalaConfig:
         if self.backend == "gpusim":
             from repro.core.kernels.dispatch import make_gpusim_kernel
 
-            kernel = make_gpusim_kernel()
+            kernel = make_gpusim_kernel(engine=self.gpusim_engine)
         elif self.backend != "vectorized":
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected 'vectorized' or 'gpusim'"

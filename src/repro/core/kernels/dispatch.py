@@ -35,16 +35,19 @@ class DispatchKernel:
         table_kind: str = "hierarchical",
         shared_buckets: int = 1024,
         block_size: int = 128,
+        engine: str | None = None,
     ):
         self.device = device or Device()
-        self.shuffle = ShuffleKernel(self.device)
+        self.shuffle = ShuffleKernel(self.device, engine=engine)
         self.hash = HashKernel(
             self.device,
             table_kind=table_kind,
             shared_buckets=shared_buckets,
             block_size=block_size,
+            engine=engine,
         )
         self.threshold = self.device.config.warp_size
+        self.engine = self.shuffle.engine
 
     def __call__(
         self, state: CommunityState, active_idx: np.ndarray, remove_self: bool = True

@@ -12,18 +12,41 @@ Execution is functional: decisions are bit-identical to the vectorised
 backend (tested); the cost model is charged for every simulated load
 (adjacency rows coalesced, community/aggregate lookups scattered) and warp
 primitive.
+
+Two engines execute the same semantics:
+
+* ``"batched"`` (default) — all active vertices of one launch decided as
+  ``(n_warps, 32)`` structure-of-arrays lane matrices through
+  :class:`~repro.gpusim.warp.WarpBatch`, in chunks that bound the
+  intermediate ``(B, 32, 32)`` tensors. Decisions and every profiler
+  counter are bit-exact with the scalar engine (tested) — the float
+  reductions sum the same 32 contiguous lane registers and all cycle
+  charges are integer-valued, so bulk accounting equals the per-vertex
+  sums exactly.
+* ``"scalar"`` — the original one-warp-at-a-time reference interpreter.
+
+The only intended divergence: on an edgeless graph (``m == 0``) the
+batched engine returns the canonical nobody-moves result (matching
+``decide_moves``) where the scalar loop would divide by zero.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.kernels.vectorized import DecideResult, _apply_guards
+from repro.core.kernels.vectorized import (
+    DecideResult,
+    _apply_guards,
+    _trivial_result,
+)
 from repro.core.state import CommunityState
 from repro.errors import DeviceError
+from repro.gpusim import resolve_engine
 from repro.gpusim.costmodel import MemoryKind
 from repro.gpusim.device import Device
-from repro.gpusim.warp import WarpContext
+from repro.gpusim.warp import WarpBatch, WarpContext
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 class ShuffleKernel:
@@ -31,8 +54,13 @@ class ShuffleKernel:
 
     name = "shuffle"
 
-    def __init__(self, device: Device | None = None):
+    #: vertices decided per batched step; bounds the (B, 32, 32) lane
+    #: tensors at ~16 MB each
+    chunk_vertices = 2048
+
+    def __init__(self, device: Device | None = None, engine: str | None = None):
         self.device = device or Device()
+        self.engine = resolve_engine(engine)
 
     # ------------------------------------------------------------------ #
     def decide_vertex(
@@ -121,10 +149,150 @@ class ShuffleKernel:
         return best_comm, float(best_gain), stay_gain
 
     # ------------------------------------------------------------------ #
+    def _decide_warp_chunk(
+        self,
+        state: CommunityState,
+        verts: np.ndarray,
+        d: np.ndarray,
+        cur_sel: np.ndarray,
+        sv: np.ndarray,
+        remove_self: bool,
+        sel: np.ndarray,
+        best_comm: np.ndarray,
+        best_gain: np.ndarray,
+        stay_gain: np.ndarray,
+    ) -> None:
+        """Decide one SoA chunk of deg>0 vertices, one warp per matrix row."""
+        g = state.graph
+        cost = self.device.config.cost
+        prof = self.device.profiler
+        w = self.device.config.warp_size
+        m = g.total_weight
+        two_m = g.two_m
+        gamma = state.resolution
+        n = len(verts)
+
+        # Gather lane registers for all rows at once.
+        lo = g.indptr[verts].astype(np.int64)
+        total = int(d.sum())
+        row_of = np.repeat(np.arange(n, dtype=np.int64), d)
+        starts = np.concatenate([[0], np.cumsum(d)]).astype(np.int64)
+        lane_of = np.arange(total, dtype=np.int64) - starts[row_of]
+        eidx = lo[row_of] + lane_of
+        my_c = np.full((n, w), -1, dtype=np.int64)
+        my_w = np.zeros((n, w), dtype=np.float64)
+        my_c[row_of, lane_of] = state.comm[g.indices[eidx]]
+        my_w[row_of, lane_of] = g.weights[eidx]
+        # Coalesced row loads (deg <= 32: one transaction per array per
+        # vertex), then scattered C[u] gathers — same charges as the
+        # scalar per-vertex ones, summed.
+        prof.charge("decide_load", cost.access(MemoryKind.GLOBAL, n) * 2)
+        prof.charge("decide_load", cost.access(MemoryKind.GLOBAL, total))
+
+        active = np.arange(w, dtype=np.int64)[None, :] < d[:, None]
+        warp = WarpBatch(self.device, active)
+        mask = warp.match_any_sync(my_c)
+        d_c = warp.reduce_add_sync(mask, my_w)
+
+        totals = np.zeros((n, w), dtype=np.float64)
+        totals[active] = state.comm_strength[my_c[active]]
+        # Leader lanes: first active lane of each distinct community
+        # (active lanes are a prefix, so "a lower lane holds my value"
+        # is exactly the scalar seen-set test).
+        prior = np.tril(np.ones((w, w), dtype=bool), -1)
+        dup = (
+            (my_c[:, :, None] == my_c[:, None, :]) & prior[None, :, :]
+        ).any(axis=2)
+        leader = active & ~dup
+        prof.charge(
+            "decide_load", cost.access(MemoryKind.GLOBAL, int(leader.sum()))
+        )
+        prof.charge("decide_alu", cost.alu(total * 4))
+
+        is_own = my_c == cur_sel[:, None]
+        eff_totals = np.where(is_own & remove_self, totals - sv[:, None], totals)
+        gains = (d_c - gamma * eff_totals * sv[:, None] / two_m) / m
+
+        has_own = is_own.any(axis=1)
+        first_own = np.argmax(is_own, axis=1)
+        stay_gain[sel[has_own]] = gains[has_own, first_own[has_own]]
+
+        cand = np.where(is_own, -np.inf, gains)
+        cand[~active] = -np.inf
+        best = warp.reduce_max_sync(cand)
+        finite = np.isfinite(best)
+        if np.any(finite):
+            # the scalar path ballots only when a finite winner exists
+            sub = WarpBatch(self.device, active[finite])
+            sub.ballot_sync(cand[finite] == best[finite][:, None])
+            winner = cand[finite] == best[finite][:, None]
+            bc = np.where(winner, my_c[finite], _INT64_MAX).min(axis=1)
+            best_comm[sel[finite]] = bc
+            best_gain[sel[finite]] = best[finite]
+
+    def _call_batched(
+        self, state: CommunityState, active_idx: np.ndarray, remove_self: bool
+    ) -> DecideResult:
+        g = state.graph
+        prof = self.device.profiler
+        w = self.device.config.warp_size
+        n_act = len(active_idx)
+        if g.total_weight == 0.0:
+            return _trivial_result(state, active_idx, np.zeros(n_act))
+        deg = g.degrees[active_idx].astype(np.int64)
+        over = np.flatnonzero(deg > w)
+        if len(over):
+            i = int(over[0])
+            raise DeviceError(
+                f"shuffle kernel handles degree <= {w}, vertex "
+                f"{int(active_idx[i])} has {int(deg[i])}"
+            )
+        m = g.total_weight
+        two_m = g.two_m
+        gamma = state.resolution
+        cur = state.comm[active_idx].astype(np.int64)
+        strength_v = g.strength[active_idx].astype(np.float64)
+        cur_total = state.comm_strength[cur].astype(np.float64)
+        if remove_self:
+            cur_total = cur_total - strength_v
+        stay_gain = (0.0 - gamma * cur_total * strength_v / two_m) / m
+        best_comm = cur.copy()
+        best_gain = np.full(n_act, -np.inf)
+
+        work = np.flatnonzero(deg > 0)
+        for start in range(0, len(work), self.chunk_vertices):
+            sub = work[start:start + self.chunk_vertices]
+            self._decide_warp_chunk(
+                state,
+                active_idx[sub],
+                deg[sub],
+                cur[sub],
+                strength_v[sub],
+                remove_self,
+                sub,
+                best_comm,
+                best_gain,
+                stay_gain,
+            )
+        prof.count("shuffle_vertices", n_act)
+        valid = np.isfinite(best_gain)
+        best_comm = np.where(valid, best_comm, cur)
+        move = _apply_guards(state, active_idx, best_comm, best_gain, stay_gain, valid)
+        return DecideResult(
+            active_idx=active_idx,
+            best_comm=best_comm,
+            best_gain=best_gain,
+            stay_gain=stay_gain,
+            move=move,
+        )
+
+    # ------------------------------------------------------------------ #
     def __call__(
         self, state: CommunityState, active_idx: np.ndarray, remove_self: bool = True
     ) -> DecideResult:
         active_idx = np.asarray(active_idx, dtype=np.int64)
+        if self.engine == "batched":
+            return self._call_batched(state, active_idx, remove_self)
         n_act = len(active_idx)
         best_comm = np.empty(n_act, dtype=np.int64)
         best_gain = np.empty(n_act, dtype=np.float64)

@@ -10,10 +10,13 @@ provides a functional simulator of exactly those mechanisms:
   latencies) and named accounting buckets;
 * :mod:`device`   — device configuration (warp size, shared-memory budget);
 * :mod:`warp`     — warp-level primitives (``__match_any_sync``,
-  ``__reduce_add_sync``, ``__reduce_max_sync``, ``__shfl_sync``);
+  ``__reduce_add_sync``, ``__reduce_max_sync``, ``__shfl_sync``), scalar
+  (:class:`~repro.gpusim.warp.WarpContext`) and batched
+  (:class:`~repro.gpusim.warp.WarpBatch`);
 * :mod:`atomics`  — atomicAdd / atomicCAS with serialisation-conflict costs;
 * :mod:`hashtable` — the three hashtable designs the paper compares
-  (global-only, unified, hierarchical);
+  (global-only, unified, hierarchical), plus the batched
+  structure-of-arrays execution of many tables at once;
 * :mod:`nccl`     — ring AllReduce / AllGather collectives with a
   bandwidth-latency communication cost model (for multi-GPU scaling).
 
@@ -21,12 +24,45 @@ Simulated kernels execute real computation (they return bit-identical
 community decisions to the vectorised backend — tested) while charging the
 cost model for every simulated memory access, so relative kernel costs
 reproduce the paper's orderings without CUDA hardware.
+
+Two execution engines drive the simulated kernels:
+
+* ``"batched"`` (default) — structure-of-arrays NumPy execution of whole
+  degree-bucketed vertex batches per step; bit-exact with the scalar
+  engine in both decisions and every profiler counter (tested), and fast
+  enough to run fig4/fig9 at paper-comparable scale;
+* ``"scalar"``  — the one-vertex-at-a-time reference interpreter.
+
+Select per kernel (``engine=...``), per run (``GalaConfig.gpusim_engine``)
+or globally via the ``REPRO_GPUSIM_ENGINE`` environment variable.
 """
+
+import os
 
 from repro.gpusim.costmodel import CostModel, MemoryKind
 from repro.gpusim.device import Device, DeviceConfig
 from repro.gpusim.profiler import SimProfiler
-from repro.gpusim.warp import WarpContext
+from repro.gpusim.warp import WarpBatch, WarpContext
+
+#: Engines the simulated kernels accept, in preference order.
+ENGINES = ("batched", "scalar")
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve the gpusim execution engine.
+
+    Explicit argument wins; otherwise the ``REPRO_GPUSIM_ENGINE``
+    environment variable; otherwise ``"batched"``.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_GPUSIM_ENGINE") or "batched"
+    engine = str(engine).lower()
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown gpusim engine {engine!r}; expected one of {list(ENGINES)}"
+        )
+    return engine
+
 
 __all__ = [
     "CostModel",
@@ -35,4 +71,7 @@ __all__ = [
     "DeviceConfig",
     "SimProfiler",
     "WarpContext",
+    "WarpBatch",
+    "ENGINES",
+    "resolve_engine",
 ]

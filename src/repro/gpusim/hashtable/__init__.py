@@ -13,9 +13,15 @@ Three designs the paper compares:
 All tables map a community id to an accumulated ``d_C(v)`` weight and keep
 the Figure 4 statistics: where each community ended up *maintained* and
 where each access was *served*.
+
+:class:`BatchedTables` is the structure-of-arrays counterpart used by the
+batched execution engine: N independent tables of one ``kind``, probed in
+vectorised rounds, bit-exact with N scalar tables (see
+``hashtable/batched.py``).
 """
 
 from repro.gpusim.hashtable.base import SimHashTable
+from repro.gpusim.hashtable.batched import BatchedTables, StreamRuns
 from repro.gpusim.hashtable.global_only import GlobalOnlyHashTable
 from repro.gpusim.hashtable.unified import UnifiedHashTable
 from repro.gpusim.hashtable.hierarchical import HierarchicalHashTable
@@ -40,6 +46,8 @@ def make_table(kind: str, device, shared_buckets: int, global_buckets: int):
 
 __all__ = [
     "SimHashTable",
+    "BatchedTables",
+    "StreamRuns",
     "GlobalOnlyHashTable",
     "UnifiedHashTable",
     "HierarchicalHashTable",

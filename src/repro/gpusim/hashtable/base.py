@@ -38,6 +38,18 @@ def hash1(key: int, size: int) -> int:
     return int((key * _MULT1) & 0xFFFFFFFF) % size
 
 
+def hash0_vec(keys: np.ndarray, size: int) -> np.ndarray:
+    """Vectorised :func:`hash0` (identical values for int64 community ids)."""
+    prod = np.asarray(keys, dtype=np.uint64) * np.uint64(_MULT0)
+    return ((prod & np.uint64(0xFFFFFFFF)) % np.uint64(size)).astype(np.int64)
+
+
+def hash1_vec(keys: np.ndarray, size: int) -> np.ndarray:
+    """Vectorised :func:`hash1` (identical values for int64 community ids)."""
+    prod = np.asarray(keys, dtype=np.uint64) * np.uint64(_MULT1)
+    return ((prod & np.uint64(0xFFFFFFFF)) % np.uint64(size)).astype(np.int64)
+
+
 class SimHashTable(ABC):
     """Community-id -> accumulated-weight map split over shared/global."""
 

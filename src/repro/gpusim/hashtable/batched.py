@@ -1,0 +1,432 @@
+"""Batched structure-of-arrays hashtables: many per-block tables at once.
+
+The scalar tables (:mod:`repro.gpusim.hashtable.base`) execute one
+find-or-insert at a time through a Python probe generator — faithful, but
+the per-key interpreter overhead makes simulator-backed experiments
+100-1000x slower than the host kernels. :class:`BatchedTables` keeps the
+*semantics* of N independent scalar tables of one geometry while resolving
+whole key vectors per NumPy step:
+
+* **bit-exact contents and statistics** — each table's keys are inserted
+  in stream (first-occurrence) order exactly as the scalar protocol would,
+  so bucket layouts, per-key probe paths, maintenance/access statistics and
+  every profiler charge match the scalar tables bit for bit (pinned by
+  tests);
+* **vectorised probe rounds** — each Python-level iteration advances one
+  probe of every table's in-flight key simultaneously (tables are
+  independent, so one key per table per round is a legal serialisation);
+  duplicate keys never re-enter the probe loop: an occurrence of an
+  already-resolved key replays a *fixed* probe path (buckets only ever
+  transition empty -> claimed), so its probes, atomics and accesses are
+  accounted for arithmetically via occurrence counts;
+* **bulk accounting** — probes/atomics are charged through single
+  ``profiler.charge``/``count`` calls with event totals; all per-event
+  costs are integer-valued cycles, so bulk totals equal the scalar
+  charge-per-event sums exactly (no float drift).
+
+Capacity exhaustion raises :class:`~repro.errors.HashTableFullError`
+exactly when the scalar tables would; when several tables exhaust, the
+reported key is the earliest one *detected* (stream-first within its
+probe round), which may differ from the scalar error's key — the
+raise/no-raise behaviour itself is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HashTableFullError
+from repro.gpusim.costmodel import MemoryKind
+from repro.gpusim.device import Device
+from repro.gpusim.hashtable.base import _EMPTY, hash0_vec, hash1_vec
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+@dataclass
+class StreamRuns:
+    """Per-distinct-key outcome of :meth:`BatchedTables.accumulate_stream`.
+
+    One entry ("run") per distinct ``(table, key)`` pair of the stream,
+    sorted by table id and, within a table, by insertion (first-occurrence)
+    order. ``value`` is the weight total accumulated into the bucket by
+    this stream (summed in stream order, ``np.bincount`` semantics).
+    """
+
+    table: np.ndarray  #: int64, owning table id
+    key: np.ndarray  #: int64, the distinct key
+    value: np.ndarray  #: float64, weight accumulated by this stream
+    occ: np.ndarray  #: int64, occurrences in the stream
+    resident_shared: np.ndarray  #: bool, key resolved to a shared bucket
+    probes_shared: np.ndarray  #: int64, shared probes of one traversal
+    probes_global: np.ndarray  #: int64, global probes of one traversal
+
+    def __len__(self) -> int:
+        return len(self.key)
+
+
+def _empty_runs() -> StreamRuns:
+    z = np.empty(0, dtype=np.int64)
+    return StreamRuns(
+        table=z,
+        key=z.copy(),
+        value=np.empty(0, dtype=np.float64),
+        occ=z.copy(),
+        resident_shared=np.empty(0, dtype=bool),
+        probes_shared=z.copy(),
+        probes_global=z.copy(),
+    )
+
+
+class BatchedTables:
+    """``n_tables`` independent simulated hashtables of one geometry.
+
+    The geometry normalisation mirrors the scalar classes exactly
+    (``global`` folds the shared budget into global memory, ``unified`` /
+    ``hierarchical`` clamp empty regions), so ``BatchedTables(kind, ...)``
+    has the same ``s``/``g`` and the same probe sequences as
+    ``make_table(kind, ...)``.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        device: Device,
+        shared_buckets: int,
+        global_buckets: int,
+        n_tables: int,
+    ):
+        if n_tables < 0:
+            raise ValueError("n_tables must be non-negative")
+        # Geometry rules copied from GlobalOnlyHashTable / UnifiedHashTable
+        # / HierarchicalHashTable __init__ — one place per design.
+        if kind == "global":
+            s, g = 0, max(global_buckets + shared_buckets, 1)
+        elif kind == "unified":
+            s, g = shared_buckets, max(global_buckets, 1)
+        elif kind == "hierarchical":
+            s, g = max(shared_buckets, 1), max(global_buckets, 1)
+        else:
+            raise ValueError(
+                f"unknown hashtable kind {kind!r}; expected one of "
+                "['global', 'hierarchical', 'unified']"
+            )
+        if s < 0 or g < 0:
+            raise ValueError("bucket counts must be non-negative")
+        max_shared = device.config.max_shared_buckets()
+        if s > max_shared:
+            raise HashTableFullError(
+                f"{s} shared buckets exceed the device budget of {max_shared}"
+            )
+        self.kind = kind
+        self.device = device
+        self.n_tables = n_tables
+        self.s = s
+        self.g = g
+        self.shared_keys = np.full((n_tables, s), _EMPTY, dtype=np.int64)
+        self.shared_vals = np.zeros((n_tables, s), dtype=np.float64)
+        self.global_keys = np.full((n_tables, g), _EMPTY, dtype=np.int64)
+        self.global_vals = np.zeros((n_tables, g), dtype=np.float64)
+        # Figure 4 statistics, one entry per table
+        self.maintained_shared = np.zeros(n_tables, dtype=np.int64)
+        self.maintained_global = np.zeros(n_tables, dtype=np.int64)
+        self.accesses_shared = np.zeros(n_tables, dtype=np.int64)
+        self.accesses_global = np.zeros(n_tables, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def max_probes(self) -> int:
+        """Length of every table's probe sequence (same as scalar)."""
+        if self.kind == "global":
+            return self.g
+        if self.kind == "unified":
+            return self.s + self.g
+        return 1 + self.g  # hierarchical: one shared probe, then global
+
+    @property
+    def num_entries(self) -> np.ndarray:
+        return self.maintained_shared + self.maintained_global
+
+    def probe_slots(
+        self, keys: np.ndarray, p: np.ndarray | int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``p``-th probe candidate of each key: ``(is_shared, slot)``.
+
+        Matches element ``p`` of the scalar ``probe_sequence(key)`` of the
+        same kind (tested), with slots numbered within their own space.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        p = np.broadcast_to(np.asarray(p, dtype=np.int64), keys.shape)
+        if self.kind == "global":
+            slot = (hash0_vec(keys, self.g) + p) % self.g
+            return np.zeros(keys.shape, dtype=bool), slot
+        if self.kind == "unified":
+            total = self.s + self.g
+            idx = (hash0_vec(keys, total) + p) % total
+            is_shared = idx < self.s
+            return is_shared, np.where(is_shared, idx, idx - self.s)
+        is_shared = p == 0
+        slot = np.where(
+            is_shared,
+            hash0_vec(keys, self.s),
+            (hash1_vec(keys, self.g) + p - 1) % self.g,
+        )
+        return is_shared, slot
+
+    # ------------------------------------------------------------------ #
+    def _occupants(
+        self, tables: np.ndarray, is_shared: np.ndarray, slots: np.ndarray
+    ) -> np.ndarray:
+        out = np.empty(len(tables), dtype=np.int64)
+        sh = is_shared
+        out[sh] = self.shared_keys[tables[sh], slots[sh]]
+        out[~sh] = self.global_keys[tables[~sh], slots[~sh]]
+        return out
+
+    def _charge_probes(self, n_shared: int, n_global: int) -> None:
+        cost = self.device.config.cost
+        prof = self.device.profiler
+        if n_shared:
+            prof.charge("hashtable", cost.access(MemoryKind.SHARED, n_shared))
+            prof.count("shared_probes", n_shared)
+        if n_global:
+            prof.charge("hashtable", cost.access(MemoryKind.GLOBAL, n_global))
+            prof.count("global_probes", n_global)
+
+    # ------------------------------------------------------------------ #
+    def accumulate_stream(
+        self, table_of: np.ndarray, keys: np.ndarray, weights: np.ndarray
+    ) -> StreamRuns:
+        """Find-or-insert a ``(table, key, weight)`` stream, in stream order.
+
+        Equivalent to calling ``table[t].accumulate(k, w)`` for the stream
+        entries one by one: per-table bucket layouts, probe/atomic charges
+        and Figure 4 statistics are bit-identical. Weight totals follow the
+        repo-wide exactness convention — each ``(table, key)`` group is
+        summed sequentially in stream order — so fresh buckets end up
+        bit-equal to the scalar's one-at-a-time accumulation. (A bucket
+        that already held weight from a *previous* call receives this
+        stream's pre-summed total in one addition instead.)
+        """
+        table_of = np.asarray(table_of, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        n = len(keys)
+        if len(table_of) != n or len(weights) != n:
+            raise ValueError("table_of, keys and weights must align")
+        if n == 0:
+            return _empty_runs()
+        if np.any((table_of < 0) | (table_of >= self.n_tables)):
+            raise ValueError("table id out of range")
+
+        # Distinct (table, key) runs, stably grouped so each run's weights
+        # stay in stream order and first_flat is its first occurrence.
+        order = np.lexsort((keys, table_of))
+        st, sk = table_of[order], keys[order]
+        new = np.empty(n, dtype=bool)
+        new[0] = True
+        new[1:] = (st[1:] != st[:-1]) | (sk[1:] != sk[:-1])
+        run_of_sorted = np.cumsum(new) - 1
+        starts = np.flatnonzero(new)
+        run_table = st[starts]
+        run_key = sk[starts]
+        first_flat = np.minimum.reduceat(order, starts)
+        occ = np.bincount(run_of_sorted).astype(np.int64)
+        value = np.bincount(run_of_sorted, weights=weights[order])
+
+        # Insertion order: per table, by first occurrence in the stream.
+        ord2 = np.lexsort((first_flat, run_table))
+        run_table = run_table[ord2]
+        run_key = run_key[ord2]
+        occ = occ[ord2]
+        value = value[ord2]
+        first_flat = first_flat[ord2]
+        n_runs = len(run_key)
+
+        per_table = np.bincount(run_table, minlength=self.n_tables)
+        offs = np.concatenate([[0], np.cumsum(per_table)]).astype(np.int64)
+
+        # Pointer-advancing probe rounds: each table has at most one key in
+        # flight (its next run, in insertion order); every Python iteration
+        # advances one probe of every in-flight key.
+        res_shared = np.zeros(n_runs, dtype=bool)
+        res_slot = np.zeros(n_runs, dtype=np.int64)
+        claimed = np.zeros(n_runs, dtype=bool)
+        probes_sh = np.zeros(n_runs, dtype=np.int64)
+        probes_gl = np.zeros(n_runs, dtype=np.int64)
+        nxt = offs[:-1].copy()
+        live = nxt < offs[1:]
+        probing = nxt[live]
+        p = np.zeros(len(probing), dtype=np.int64)
+        maxp = self.max_probes
+        while len(probing):
+            ptab = run_table[probing]
+            is_sh, slot = self.probe_slots(run_key[probing], p)
+            # run ids in the probe set are unique (one per table), so
+            # buffered fancy-index increments are exact
+            probes_sh[probing[is_sh]] += 1
+            probes_gl[probing[~is_sh]] += 1
+            occupant = self._occupants(ptab, is_sh, slot)
+            won = occupant == _EMPTY
+            found = occupant == run_key[probing]
+            done = won | found
+            if np.any(done):
+                druns = probing[done]
+                dtab = ptab[done]
+                dsh = is_sh[done]
+                dslot = slot[done]
+                # claim the empty buckets (atomicCAS); found keys were
+                # inserted by an earlier call and are plain hits
+                cw = won[done]
+                self.shared_keys[dtab[dsh & cw], dslot[dsh & cw]] = run_key[
+                    druns[dsh & cw]
+                ]
+                self.global_keys[dtab[~dsh & cw], dslot[~dsh & cw]] = run_key[
+                    druns[~dsh & cw]
+                ]
+                res_shared[druns] = dsh
+                res_slot[druns] = dslot
+                claimed[druns] = cw
+                # pull each resolved table's next run into the probe set
+                nxt[dtab] += 1
+                fresh_tab = dtab[nxt[dtab] < offs[1:][dtab]]
+                fresh = nxt[fresh_tab]
+                probing = np.concatenate([probing[~done], fresh])
+                p = np.concatenate(
+                    [p[~done] + 1, np.zeros(len(fresh), dtype=np.int64)]
+                )
+            else:
+                p = p + 1
+            exhausted = p >= maxp
+            if np.any(exhausted):
+                bad = probing[exhausted]
+                worst = bad[np.argmin(first_flat[bad])]
+                raise HashTableFullError(
+                    f"no free bucket for key {int(run_key[worst])} "
+                    f"(s={self.s}, g={self.g})"
+                )
+
+        # Accumulate values (stream-ordered group sums; fresh buckets held
+        # exactly 0.0, so += reproduces the scalar running sums bit-exactly).
+        sh = res_shared
+        self.shared_vals[run_table[sh], res_slot[sh]] += value[sh]
+        self.global_vals[run_table[~sh], res_slot[~sh]] += value[~sh]
+
+        # Bulk accounting: every occurrence of a run replays its probe
+        # path and does one atomicAdd; first occurrences of claimed runs
+        # add the atomicCAS.
+        self._charge_probes(
+            int((probes_sh * occ).sum()), int((probes_gl * occ).sum())
+        )
+        cost = self.device.config.cost
+        prof = self.device.profiler
+        n_at_sh = int(occ[sh].sum() + (claimed & sh).sum())
+        n_at_gl = int(occ[~sh].sum() + (claimed & ~sh).sum())
+        if n_at_sh:
+            prof.charge("hashtable", cost.atomic(MemoryKind.SHARED, n_at_sh))
+        if n_at_gl:
+            prof.charge("hashtable", cost.atomic(MemoryKind.GLOBAL, n_at_gl))
+
+        self.maintained_shared += np.bincount(
+            run_table[claimed & sh], minlength=self.n_tables
+        )
+        self.maintained_global += np.bincount(
+            run_table[claimed & ~sh], minlength=self.n_tables
+        )
+        self.accesses_shared += np.bincount(
+            run_table[sh], weights=occ[sh], minlength=self.n_tables
+        ).astype(np.int64)
+        self.accesses_global += np.bincount(
+            run_table[~sh], weights=occ[~sh], minlength=self.n_tables
+        ).astype(np.int64)
+
+        return StreamRuns(
+            table=run_table,
+            key=run_key,
+            value=value,
+            occ=occ,
+            resident_shared=res_shared,
+            probes_shared=probes_sh,
+            probes_global=probes_gl,
+        )
+
+    # ------------------------------------------------------------------ #
+    def lookup_many(
+        self, table_of: np.ndarray, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched ``lookup``: ``(values, found)`` per query.
+
+        Probes and access statistics are charged exactly as the scalar
+        ``lookup`` would per query (tables are read-only here, so any
+        number of simultaneous queries per table is legal).
+        """
+        table_of = np.asarray(table_of, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.int64)
+        nq = len(keys)
+        values = np.zeros(nq, dtype=np.float64)
+        found = np.zeros(nq, dtype=bool)
+        if nq == 0:
+            return values, found
+        if np.any((table_of < 0) | (table_of >= self.n_tables)):
+            raise ValueError("table id out of range")
+        probing = np.arange(nq, dtype=np.int64)
+        p = np.zeros(nq, dtype=np.int64)
+        n_sh = n_gl = 0
+        maxp = self.max_probes
+        acc_sh = np.zeros(self.n_tables, dtype=np.int64)
+        acc_gl = np.zeros(self.n_tables, dtype=np.int64)
+        while len(probing):
+            ptab = table_of[probing]
+            is_sh, slot = self.probe_slots(keys[probing], p)
+            n_sh += int(is_sh.sum())
+            n_gl += int((~is_sh).sum())
+            occupant = self._occupants(ptab, is_sh, slot)
+            hit = occupant == keys[probing]
+            if np.any(hit):
+                hq = probing[hit]
+                hsh = is_sh[hit]
+                hslot = slot[hit]
+                htab = ptab[hit]
+                values[hq[hsh]] = self.shared_vals[htab[hsh], hslot[hsh]]
+                values[hq[~hsh]] = self.global_vals[htab[~hsh], hslot[~hsh]]
+                found[hq] = True
+                acc_sh += np.bincount(htab[hsh], minlength=self.n_tables)
+                acc_gl += np.bincount(htab[~hsh], minlength=self.n_tables)
+            cont = ~hit & (occupant != _EMPTY)
+            probing = probing[cont]
+            p = p[cont] + 1
+            keep = p < maxp
+            probing, p = probing[keep], p[keep]
+        self._charge_probes(n_sh, n_gl)
+        self.accesses_shared += acc_sh
+        self.accesses_global += acc_gl
+        return values, found
+
+    # ------------------------------------------------------------------ #
+    def items_flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All entries as ``(table, key, value)``, shared slots first per
+        table then global — the concatenation of every table's ``items()``."""
+        sv, ss = np.nonzero(self.shared_keys != _EMPTY)
+        gv, gs = np.nonzero(self.global_keys != _EMPTY)
+        tb = np.concatenate([sv, gv])
+        ky = np.concatenate(
+            [self.shared_keys[sv, ss], self.global_keys[gv, gs]]
+        )
+        vl = np.concatenate(
+            [self.shared_vals[sv, ss], self.global_vals[gv, gs]]
+        )
+        order = np.argsort(tb, kind="stable")
+        return tb[order], ky[order], vl[order]
+
+    def reset(self) -> None:
+        """Clear contents and statistics of every table."""
+        self.shared_keys.fill(_EMPTY)
+        self.shared_vals.fill(0.0)
+        self.global_keys.fill(_EMPTY)
+        self.global_vals.fill(0.0)
+        self.maintained_shared.fill(0)
+        self.maintained_global.fill(0)
+        self.accesses_shared.fill(0)
+        self.accesses_global.fill(0)

@@ -56,6 +56,24 @@ class SimProfiler:
             "total_cycles": self.total_cycles,
         }
 
+    def diff(self, other: "SimProfiler") -> dict:
+        """Buckets/counters where two profilers disagree (empty == equal).
+
+        The equivalence tests pin the batched engine to the scalar one with
+        this: asserting ``diff == {}`` names exactly the diverging buckets
+        instead of dumping two whole snapshots.
+        """
+        out: dict = {"cycles": {}, "counters": {}}
+        for kind, mine, theirs in (
+            ("cycles", self.cycles, other.cycles),
+            ("counters", self.counters, other.counters),
+        ):
+            for key in sorted(set(mine) | set(theirs)):
+                a, b = mine.get(key, 0), theirs.get(key, 0)
+                if a != b:
+                    out[kind][key] = (a, b)
+        return {k: v for k, v in out.items() if v}
+
     def rate(self, numerator: str, denominator: str) -> float:
         """Ratio of two counters (0.0 when the denominator is empty).
 

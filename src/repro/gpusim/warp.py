@@ -15,11 +15,20 @@ All primitives operate only on *active* lanes (the ``active`` mask models
 CUDA's member mask) and charge the cost model per invocation — these run on
 the register file, so they cost a handful of cycles regardless of how many
 lanes participate.
+
+:class:`WarpBatch` is the structure-of-arrays counterpart: the same
+primitives evaluated over an ``(n_warps, 32)`` lane matrix at once, one
+matrix row per warp. Each batched call charges the cost model the
+*identical* per-invocation cycles — one warp-primitive charge per matrix
+row — through a single bulk ``profiler.charge``/``count`` pair, so a
+batched execution is bit-exact with ``n_warps`` scalar ones in both
+results and accounting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -27,23 +36,35 @@ from repro.errors import DeviceError
 from repro.gpusim.device import Device
 
 
+def _validated_mask(active: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Validate an active-lane mask once: boolean dtype, exact shape."""
+    arr = np.asarray(active)
+    if arr.dtype != np.bool_:
+        raise DeviceError(
+            f"active mask must be boolean, got dtype {arr.dtype}"
+        )
+    if arr.shape != shape:
+        raise DeviceError(
+            f"active mask must have shape {shape}, got {arr.shape}"
+        )
+    return arr
+
+
 @dataclass
 class WarpContext:
     """One warp's execution context."""
 
     device: Device
-    #: boolean mask of active lanes (length = warp size)
-    active: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: boolean mask of active lanes (length = warp size); ``None`` means
+    #: all lanes active
+    active: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         w = self.device.config.warp_size
         if self.active is None:
             self.active = np.ones(w, dtype=bool)
-        self.active = np.asarray(self.active, dtype=bool)
-        if len(self.active) != w:
-            raise DeviceError(
-                f"active mask must have {w} lanes, got {len(self.active)}"
-            )
+        else:
+            self.active = _validated_mask(self.active, (w,))
 
     @property
     def width(self) -> int:
@@ -105,3 +126,109 @@ class WarpContext:
         self._charge()
         bits = np.flatnonzero(predicate & self.active).astype(np.int64)
         return int((1 << bits).sum())
+
+
+@dataclass
+class WarpBatch:
+    """A batch of independent warps in structure-of-arrays layout.
+
+    Every method evaluates one warp primitive on all ``n_warps`` rows of
+    the lane matrix simultaneously and charges exactly ``n_warps``
+    per-invocation costs in one bulk call. Results and accounting are
+    bit-exact with running :class:`WarpContext` row by row: integer mask
+    arithmetic is order-independent, and the float reductions sum the
+    same 32 contiguous lane registers with the same NumPy reduction, so
+    even the floating-point bit patterns agree (pinned by tests).
+    """
+
+    device: Device
+    #: boolean mask of active lanes, shape ``(n_warps, warp_size)``
+    active: np.ndarray
+
+    def __post_init__(self) -> None:
+        w = self.device.config.warp_size
+        arr = np.asarray(self.active)
+        if arr.ndim != 2 or arr.shape[1] != w:
+            raise DeviceError(
+                f"lane matrix must be (n_warps, {w}), got {arr.shape}"
+            )
+        self.active = _validated_mask(arr, arr.shape)
+
+    @property
+    def n_warps(self) -> int:
+        return self.active.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.device.config.warp_size
+
+    def _charge(self, invocations: int | None = None) -> None:
+        n = self.n_warps if invocations is None else invocations
+        self.device.profiler.charge(
+            "warp_primitives", self.device.config.cost.warp_primitive(n)
+        )
+        self.device.profiler.count("warp_primitive_ops", n)
+
+    def _check(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.shape != self.active.shape:
+            raise DeviceError(
+                f"values must be {self.active.shape}, got {values.shape}"
+            )
+        return values
+
+    # ------------------------------------------------------------------ #
+    def match_any_sync(self, values: np.ndarray) -> np.ndarray:
+        """Per-lane same-value bitmasks, one ``__match_any_sync`` per row."""
+        values = self._check(values)
+        self._charge()
+        # (n, i, j): lane j active and holding lane i's value, within row
+        same = (
+            (values[:, :, None] == values[:, None, :])
+            & self.active[:, None, :]
+            & self.active[:, :, None]
+        )
+        bits = (np.int64(1) << np.arange(self.width, dtype=np.int64))[None, None, :]
+        return (same * bits).sum(axis=2)
+
+    def reduce_add_sync(self, masks: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Per-lane sum of ``values`` over each lane's mask group, per row.
+
+        The innermost sum runs over the 32 contiguous lane registers of
+        each row — the same reduction :meth:`WarpContext.reduce_add_sync`
+        performs — keeping the float results bit-identical.
+        """
+        values = np.asarray(self._check(values), dtype=np.float64)
+        masks = np.asarray(self._check(masks), dtype=np.int64)
+        self._charge()
+        lanes = np.arange(self.width, dtype=np.int64)
+        member = (masks[:, :, None] >> lanes[None, None, :]) & 1
+        out = (member * values[:, None, :]).sum(axis=2)
+        return np.where(self.active, out, 0.0)
+
+    def reduce_max_sync(self, values: np.ndarray) -> np.ndarray:
+        """Per-row max over active lanes (``-inf`` for all-inactive rows)."""
+        values = np.asarray(self._check(values), dtype=np.float64)
+        self._charge()
+        masked = np.where(self.active, values, -np.inf)
+        return masked.max(axis=1)
+
+    def shfl_idx_sync(self, values: np.ndarray, src_lanes: np.ndarray) -> np.ndarray:
+        """Read ``values[row, src_lanes[row]]`` for every row."""
+        values = self._check(values)
+        src_lanes = np.asarray(src_lanes, dtype=np.int64)
+        if src_lanes.shape != (self.n_warps,):
+            raise DeviceError("src_lanes must give one source lane per warp")
+        if np.any((src_lanes < 0) | (src_lanes >= self.width)):
+            raise DeviceError("source lane out of range")
+        self._charge()
+        return np.asarray(
+            values[np.arange(self.n_warps), src_lanes], dtype=np.float64
+        )
+
+    def ballot_sync(self, predicate: np.ndarray) -> np.ndarray:
+        """Per-row bitmask of active lanes whose predicate holds."""
+        predicate = np.asarray(self._check(predicate), dtype=bool)
+        self._charge()
+        bits = (np.int64(1) << np.arange(self.width, dtype=np.int64))[None, :]
+        return ((predicate & self.active) * bits).sum(axis=1)

@@ -1,0 +1,186 @@
+"""Counter-pinning regression: the batched SoA engine vs the scalar engine.
+
+The batched engine's contract is *bit-exactness*, not approximation: on
+any launch it must produce the scalar engine's decisions AND charge the
+cost model identically — every cycle bucket (by memory kind), every
+counter (warp_primitive_ops, hash probe / conflict / atomic counts), and
+the Figure 4 rate log. These tests run small versions of the fig4 and
+fig9 workloads under both engines and assert ``SimProfiler.diff == {}``,
+so any divergence names the exact bucket that moved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gala import GalaConfig, gala
+from repro.core.kernels.dispatch import DispatchKernel
+from repro.core.kernels.hash import HashKernel
+from repro.core.kernels.shuffle import ShuffleKernel
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.core.state import CommunityState
+from repro.bench.experiments.fig9_kernels import hub_workload
+from repro.graph.generators import load_dataset
+from repro.gpusim import ENGINES, resolve_engine
+from repro.gpusim.device import Device
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return load_dataset("LJ", scale=0.02)
+
+
+def random_state(graph, n_comms=12, seed=0):
+    rng = np.random.default_rng(seed)
+    return CommunityState.from_assignment(
+        graph, rng.integers(0, n_comms, graph.n)
+    )
+
+
+def _assert_same_decisions(a, b):
+    np.testing.assert_array_equal(a.best_comm, b.best_comm)
+    np.testing.assert_array_equal(a.move, b.move)
+    # bit-equal gains, not approx — the engines share reduction order
+    np.testing.assert_array_equal(a.best_gain, b.best_gain)
+    np.testing.assert_array_equal(a.stay_gain, b.stay_gain)
+
+
+#: fig9-style kernel configurations (part a small-degree + dispatch)
+KERNEL_CONFIGS = [
+    ("shuffle", lambda d, e: ShuffleKernel(d, engine=e)),
+    ("hash-hier", lambda d, e: HashKernel(d, "hierarchical", engine=e)),
+    ("hash-unified", lambda d, e: HashKernel(d, "unified", engine=e)),
+    ("hash-global", lambda d, e: HashKernel(d, "global", engine=e)),
+    ("dispatch", lambda d, e: DispatchKernel(d, engine=e)),
+]
+
+
+class TestEveryCounterPinned:
+    @pytest.mark.parametrize(
+        "make", [m for _, m in KERNEL_CONFIGS], ids=[n for n, _ in KERNEL_CONFIGS]
+    )
+    def test_fig9_small_degree_launch(self, small_graph, make):
+        state = random_state(small_graph)
+        # the shuffle kernel only takes warp-sized rows (fig9 part a);
+        # hash and dispatch handle the full launch
+        deg = np.diff(small_graph.indptr)
+        idx = np.flatnonzero(deg < 32).astype(np.int64)
+        sdev, bdev = Device(), Device()
+        scalar = make(sdev, "scalar")(state, idx)
+        batched = make(bdev, "batched")(state, idx)
+        _assert_same_decisions(scalar, batched)
+        assert sdev.profiler.diff(bdev.profiler) == {}
+
+    @pytest.mark.parametrize("kind", ["hierarchical", "unified", "global"])
+    def test_fig9_hub_launch(self, kind):
+        _, state, hubs = hub_workload(
+            hub_degree=300, num_hubs=3, num_comms=80, seed=2
+        )
+        sdev, bdev = Device(), Device()
+        kw = dict(shared_buckets=256, load_factor=0.7)
+        scalar = HashKernel(sdev, kind, engine="scalar", **kw)(state, hubs)
+        batched = HashKernel(bdev, kind, engine="batched", **kw)(state, hubs)
+        _assert_same_decisions(scalar, batched)
+        assert sdev.profiler.diff(bdev.profiler) == {}
+
+    @pytest.mark.parametrize("kind", ["hierarchical", "unified"])
+    def test_fig4_iterated_rate_log(self, small_graph, kind):
+        """Three phase-1 iterations with the fig4 instrumentation: the
+        rate logs (maintenance/access rates) and final counters match."""
+        max_degree = int(np.diff(small_graph.indptr).max())
+        results, kernels, devices = {}, {}, {}
+        for engine in ENGINES:
+            dev = Device()
+            kernel = HashKernel(
+                dev,
+                table_kind=kind,
+                shared_buckets=64,
+                fixed_global_buckets=max(2 * max_degree, 1024),
+                engine=engine,
+            )
+
+            def wrapped(state, idx, remove_self, _k=kernel):
+                out = _k(state, idx, remove_self)
+                _k.flush_rates()
+                return out
+
+            results[engine] = run_phase1(
+                small_graph,
+                Phase1Config(pruning="mg", kernel=wrapped, max_iterations=3),
+            )
+            kernels[engine], devices[engine] = kernel, dev
+        np.testing.assert_array_equal(
+            results["batched"].communities, results["scalar"].communities
+        )
+        assert kernels["batched"].rate_log == kernels["scalar"].rate_log
+        assert devices["scalar"].profiler.diff(devices["batched"].profiler) == {}
+
+    def test_expected_counters_present(self, small_graph):
+        """The pinned quantities of the regression actually exist: cycles
+        by memory kind, warp primitive ops, probe and conflict counts."""
+        state = random_state(small_graph)
+        idx = np.arange(small_graph.n)
+        dev = Device()
+        DispatchKernel(dev, engine="batched")(state, idx)
+        # a global-only table so global probe traffic shows up too
+        HashKernel(dev, "global", engine="batched")(state, idx)
+        counters = dev.profiler.counters
+        assert counters["warp_primitive_ops"] > 0
+        assert counters["shared_probes"] > 0
+        assert counters["global_probes"] > 0
+        # bank conflicts need block-per-vertex probing of one shared table
+        _, hub_state, hubs = hub_workload(
+            hub_degree=300, num_hubs=2, num_comms=80, seed=2
+        )
+        hdev = Device()
+        HashKernel(hdev, "hierarchical", shared_buckets=256,
+                   load_factor=0.7, engine="batched")(hub_state, hubs)
+        assert hdev.profiler.counters["bank_conflict_steps"] > 0
+        cycles = dev.profiler.cycles
+        assert cycles["warp_primitives"] > 0
+        assert cycles["hashtable"] > 0
+        assert cycles["decide_load"] > 0
+
+
+class TestEngineSelection:
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GPUSIM_ENGINE", raising=False)
+        assert resolve_engine() == "batched"
+        assert ShuffleKernel(Device()).engine == "batched"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_ENGINE", "scalar")
+        assert resolve_engine() == "scalar"
+        assert HashKernel(Device(), "hierarchical").engine == "scalar"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GPUSIM_ENGINE", "scalar")
+        assert resolve_engine("batched") == "batched"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_engine("simd")
+        monkeypatch.setenv("REPRO_GPUSIM_ENGINE", "warp-speed")
+        with pytest.raises(ValueError):
+            ShuffleKernel(Device())
+
+    def test_dispatch_propagates_engine(self):
+        k = DispatchKernel(Device(), engine="scalar")
+        assert k.engine == "scalar"
+        assert k.shuffle.engine == "scalar"
+        assert k.hash.engine == "scalar"
+
+    def test_gala_config_engine_passthrough(self):
+        cfg = GalaConfig(backend="gpusim", gpusim_engine="scalar")
+        assert cfg.phase1_config().kernel.engine == "scalar"
+
+    def test_gala_end_to_end_engines_agree(self):
+        graph = load_dataset("LJ", scale=0.02)
+        out = {
+            e: gala(graph, GalaConfig(backend="gpusim", gpusim_engine=e,
+                                      phase1_only=True, max_iterations=4))
+            for e in ENGINES
+        }
+        np.testing.assert_array_equal(
+            out["batched"].communities, out["scalar"].communities
+        )
+        assert out["batched"].modularity == out["scalar"].modularity

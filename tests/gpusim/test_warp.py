@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import DeviceError
 from repro.gpusim.device import Device
-from repro.gpusim.warp import WarpContext
+from repro.gpusim.warp import WarpBatch, WarpContext
 
 
 def make_warp(active_lanes=32):
@@ -111,3 +111,89 @@ class TestReduceMaxAndMisc:
     def test_bad_active_mask_length(self):
         with pytest.raises(DeviceError):
             WarpContext(Device(), active=np.ones(8, dtype=bool))
+
+    def test_non_boolean_active_mask(self):
+        with pytest.raises(DeviceError):
+            WarpContext(Device(), active=np.ones(32, dtype=np.int64))
+
+    def test_default_active_mask_all_lanes(self):
+        warp = WarpContext(Device())
+        assert warp.active.dtype == np.bool_
+        assert warp.active.all()
+
+
+#: strategy for one warp's lanes: (community, value, active) per lane
+LANE_ROWS = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.floats(-10.0, 10.0), st.booleans()),
+        min_size=32, max_size=32,
+    ),
+    min_size=1, max_size=6,
+)
+
+
+class TestWarpBatchParity:
+    """WarpBatch must be bit-exact with per-row WarpContext calls —
+    results AND profiler accounting."""
+
+    @staticmethod
+    def _unpack(rows):
+        comms = np.array([[c for c, _, _ in row] for row in rows], np.int64)
+        vals = np.array([[v for _, v, _ in row] for row in rows])
+        active = np.array([[a for _, _, a in row] for row in rows], bool)
+        return comms, vals, active
+
+    @given(rows=LANE_ROWS)
+    @settings(max_examples=30, deadline=None)
+    def test_match_add_max_bit_equal(self, rows):
+        comms, vals, active = self._unpack(rows)
+        bdev = Device()
+        batch = WarpBatch(bdev, active)
+        b_masks = batch.match_any_sync(comms)
+        b_sums = batch.reduce_add_sync(b_masks, vals)
+        b_maxes = batch.reduce_max_sync(vals)
+        b_ballots = batch.ballot_sync(vals > 0)
+
+        sdev = Device()
+        for r in range(len(rows)):
+            warp = WarpContext(sdev, active=active[r])
+            masks = warp.match_any_sync(comms[r])
+            sums = warp.reduce_add_sync(masks, vals[r])
+            np.testing.assert_array_equal(b_masks[r], masks)
+            # bit-equal floats, not approx: same 32-lane reduction
+            np.testing.assert_array_equal(b_sums[r], sums)
+            assert b_maxes[r] == warp.reduce_max_sync(vals[r])
+            assert b_ballots[r] == warp.ballot_sync(vals[r] > 0)
+        assert sdev.profiler.diff(bdev.profiler) == {}
+
+    def test_shfl_reads_one_lane_per_row(self):
+        dev = Device()
+        batch = WarpBatch(dev, np.ones((3, 32), dtype=bool))
+        vals = np.arange(96, dtype=float).reshape(3, 32)
+        got = batch.shfl_idx_sync(vals, np.array([0, 7, 31]))
+        np.testing.assert_array_equal(got, [0.0, 39.0, 95.0])
+        assert dev.profiler.counters["warp_primitive_ops"] == 3
+        with pytest.raises(DeviceError):
+            batch.shfl_idx_sync(vals, np.array([0, 40, 0]))
+
+    def test_charges_one_invocation_per_row(self):
+        dev = Device()
+        batch = WarpBatch(dev, np.ones((5, 32), dtype=bool))
+        batch.match_any_sync(np.zeros((5, 32), dtype=np.int64))
+        assert dev.profiler.counters["warp_primitive_ops"] == 5
+        ref = Device()
+        WarpContext(ref).match_any_sync(np.zeros(32, dtype=np.int64))
+        assert dev.profiler.total_cycles == 5 * ref.profiler.total_cycles
+
+    def test_all_inactive_row(self):
+        batch = WarpBatch(Device(), np.zeros((1, 32), dtype=bool))
+        assert batch.reduce_max_sync(np.ones((1, 32)))[0] == -np.inf
+        assert batch.match_any_sync(np.ones((1, 32), dtype=np.int64)).sum() == 0
+
+    def test_bad_lane_matrix(self):
+        with pytest.raises(DeviceError):
+            WarpBatch(Device(), np.ones((2, 8), dtype=bool))
+        with pytest.raises(DeviceError):
+            WarpBatch(Device(), np.ones(32, dtype=bool))
+        with pytest.raises(DeviceError):
+            WarpBatch(Device(), np.ones((2, 32), dtype=np.int64))
