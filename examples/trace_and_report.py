@@ -1,0 +1,75 @@
+"""Observability walkthrough: trace a run, save its manifest, diff two runs.
+
+Shows the three `repro.obs` artifacts in one sitting:
+
+1. a Chrome trace-event JSON you can open in https://ui.perfetto.dev
+   (per-level, per-iteration, per-kernel spans);
+2. a JSONL metrics stream (one record per BSP iteration + a summary);
+3. a run manifest — config, seed, graph fingerprint, per-level breakdown —
+   that `python -m repro report` renders and diffs.
+
+Run:  python examples/trace_and_report.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import GalaConfig, gala, obs
+from repro.graph.generators import lfr_graph, LFRParams
+from repro.obs import read_metrics_jsonl, validate_chrome_trace
+from repro.obs.report import render_diff, render_manifest
+
+
+def traced_run(workdir: Path) -> None:
+    """One observed run: trace + metrics + manifest on disk."""
+    graph, _ = lfr_graph(LFRParams(n=800, mu=0.3, seed=7))
+    trace_path = workdir / "run.trace.json"
+    metrics_path = workdir / "run.metrics.jsonl"
+
+    with obs.session(trace=str(trace_path), metrics=str(metrics_path)) as sess:
+        result = gala(graph)
+
+    # the trace is schema-valid Chrome JSON (load it in Perfetto)
+    validate_chrome_trace(str(trace_path))
+    records = read_metrics_jsonl(str(metrics_path))
+    iterations = [r for r in records if r["kind"] == "iteration"]
+    print(f"traced {len(iterations)} iterations across "
+          f"{result.num_levels} levels -> {trace_path.name}")
+
+    # the same numbers live on the in-memory session
+    summary = sess.summary()
+    assert summary["counters"]["engine/iterations"] == len(iterations)
+    print("engine counters:",
+          {k: v for k, v in summary["counters"].items()
+           if k.startswith("engine/")})
+
+    # every gala() result carries its manifest; render it like `repro report`
+    obs.save_manifest(result.manifest, str(workdir / "run.manifest.json"))
+    print()
+    print(render_manifest(result.manifest))
+
+
+def compare_two_runs(workdir: Path) -> None:
+    """The before/after loop: diff manifests of two configurations."""
+    graph, _ = lfr_graph(LFRParams(n=800, mu=0.3, seed=7))
+
+    a = gala(graph, GalaConfig(pruning="mg"))
+    b = gala(graph, GalaConfig(pruning="none"))
+    a.manifest.command = "gala --pruning mg"
+    b.manifest.command = "gala --pruning none"
+
+    print()
+    print(render_diff(a.manifest, b.manifest))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        traced_run(workdir)
+        compare_two_runs(workdir)
+
+
+if __name__ == "__main__":
+    main()

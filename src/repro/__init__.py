@@ -19,10 +19,12 @@ from repro.core.louvain import louvain, LouvainResult
 from repro.core.phase1 import run_phase1, Phase1Config, Phase1Result
 from repro.core.modularity import modularity
 from repro.graph.csr import CSRGraph
+from repro import obs
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "gala",
     "GalaConfig",
     "louvain",

@@ -7,7 +7,9 @@ scale and prints the paper-formatted tables.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 import time
 
@@ -36,6 +38,11 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", default=None,
         help="additionally dump all experiment outputs as JSON",
     )
+    parser.add_argument(
+        "--obs-dir", metavar="DIR", default=None,
+        help="opt into the observability layer: per experiment, write "
+             "<id>.trace.json (Chrome trace) and <id>.metrics.jsonl here",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -43,14 +50,30 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{eid:8s} {title}")
         return 0
 
+    if args.obs_dir:
+        os.makedirs(args.obs_dir, exist_ok=True)
+
     targets = args.experiments or EXPERIMENTS
     collected = []
     for eid in targets:
+        if args.obs_dir:
+            from repro import obs
+
+            sess_cm = obs.session(
+                trace=os.path.join(args.obs_dir, f"{eid}.trace.json"),
+                metrics=os.path.join(args.obs_dir, f"{eid}.metrics.jsonl"),
+                process_name=f"repro.bench.{eid}",
+            )
+        else:
+            sess_cm = contextlib.nullcontext()
         start = time.perf_counter()
-        output = run_experiment(eid, scale=args.scale)
+        with sess_cm:
+            output = run_experiment(eid, scale=args.scale)
         print(output.render())
         print(f"({eid} completed in {time.perf_counter() - start:.1f}s)\n")
         collected.append(output)
+    if args.obs_dir:
+        print(f"wrote per-experiment trace/metrics artifacts to {args.obs_dir}")
     if args.json:
         payload = [
             {

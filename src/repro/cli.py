@@ -5,12 +5,19 @@ Commands
 ``detect``    Detect communities in an edge-list file with GALA.
 ``stats``     Print structural statistics of a graph file.
 ``generate``  Generate a synthetic benchmark graph to an edge-list file.
+``report``    Render a run manifest (or diff two) as breakdown tables.
 ``bench``     Shortcut for the experiment harness (``python -m repro.bench``).
+
+``detect`` opts into the observability layer with ``--trace`` (Chrome
+trace-event JSON for Perfetto), ``--metrics`` (per-iteration JSONL), and
+``--manifest`` (run manifest for ``repro report``); see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
@@ -46,6 +53,25 @@ def _add_detect(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", default=None,
                    help="write 'vertex community' lines here")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome trace-event JSON here "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="stream per-iteration metrics as JSON Lines here")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="write the run manifest here (input to "
+                        "'repro report')")
+
+
+def _add_report(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "report",
+        help="render run manifests: one -> breakdown tables, two -> diff",
+    )
+    p.add_argument("manifests", nargs="+", metavar="MANIFEST",
+                   help="manifest JSON file(s) written by detect --manifest")
+    p.add_argument("--diff-only", action="store_true",
+                   help="with two manifests, print only the diff table")
 
 
 def _add_stats(sub: argparse._SubParsersAction) -> None:
@@ -76,30 +102,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_detect(sub)
     _add_stats(sub)
     _add_generate(sub)
+    _add_report(sub)
     sub.add_parser("bench", help="run the experiment harness",
                    add_help=False)
     return parser
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
+    from repro import obs
+
     graph = load_edge_list(args.graph, weighted=args.weighted)
     print(f"loaded {graph.name}: n={graph.n} m={graph.num_edges}")
+
+    observed = bool(args.trace or args.metrics or args.manifest)
+    sess_cm = (
+        obs.session(trace=args.trace, metrics=args.metrics)
+        if observed
+        else contextlib.nullcontext()
+    )
     start = time.perf_counter()
-    if args.algorithm == "leiden":
-        result = leiden(
-            graph, resolution=args.resolution, theta=args.theta,
-            seed=args.seed,
-        )
-    else:
-        cfg = GalaConfig(
-            pruning=args.pruning,
-            resolution=args.resolution,
-            theta=args.theta,
-            seed=args.seed,
-            phase1_only=args.phase1_only,
-        )
-        result = gala(graph, cfg)
+    with sess_cm as sess:
+        if args.algorithm == "leiden":
+            result = leiden(
+                graph, resolution=args.resolution, theta=args.theta,
+                seed=args.seed,
+            )
+        else:
+            cfg = GalaConfig(
+                pruning=args.pruning,
+                resolution=args.resolution,
+                theta=args.theta,
+                seed=args.seed,
+                phase1_only=args.phase1_only,
+            )
+            result = gala(graph, cfg)
     elapsed = time.perf_counter() - start
+
+    if args.manifest:
+        manifest = getattr(result, "manifest", None)
+        if manifest is None:  # leiden has no attached manifest (yet)
+            manifest = obs.build_manifest(
+                result, graph,
+                metrics=sess.summary() if observed else None,
+                runtime=args.algorithm,
+            )
+        manifest.command = "detect " + graph.name
+        obs.save_manifest(manifest, args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    if args.trace:
+        print(f"wrote Chrome trace to {args.trace}")
+    if args.metrics:
+        print(f"wrote metrics JSONL to {args.metrics}")
     comm = result.communities
     k = len(np.unique(comm))
     print(f"detected {k} communities in {elapsed:.2f}s")
@@ -125,6 +178,42 @@ def cmd_detect(args: argparse.Namespace) -> int:
             for v, c in enumerate(comm):
                 fh.write(f"{v} {c}\n")
         print(f"wrote assignment to {args.output}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_manifest
+    from repro.obs.report import render_diff, render_manifest
+
+    manifests = [load_manifest(path) for path in args.manifests]
+    if len(manifests) == 1:
+        print(render_manifest(manifests[0]))
+        return 0
+    if len(manifests) == 2:
+        if not args.diff_only:
+            for m, path in zip(manifests, args.manifests):
+                print(f"--- {path} ---")
+                print(render_manifest(m))
+                print()
+        print(render_diff(manifests[0], manifests[1]))
+        return 0
+    # three or more: one summary row each
+    from repro.bench.reporting import format_table
+
+    rows = [
+        {
+            "manifest": path,
+            "graph": m.graph.get("name"),
+            "n": m.graph.get("n"),
+            "levels": m.result.get("num_levels"),
+            "iterations": m.result.get("iterations"),
+            "Q": round(m.result.get("modularity") or 0.0, 5),
+            "sim_cycles": m.result.get("sim_cycles"),
+            "comm_bytes": m.result.get("comm_bytes"),
+        }
+        for m, path in zip(manifests, args.manifests)
+    ]
+    print(format_table(rows, title="manifest summary"))
     return 0
 
 
@@ -162,9 +251,12 @@ def main(argv: list[str] | None = None) -> int:
 
         return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
-    return {"detect": cmd_detect, "stats": cmd_stats, "generate": cmd_generate}[
-        args.command
-    ](args)
+    return {
+        "detect": cmd_detect,
+        "stats": cmd_stats,
+        "generate": cmd_generate,
+        "report": cmd_report,
+    }[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.core.pruning.base import IterationContext, PruningStrategy, make_strategy
 from repro.core.state import CommunityState
+from repro.obs import _session as obs
+from repro.obs.tracer import NULL_TRACER
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timer import TimerRegistry
 
@@ -59,6 +61,14 @@ class ConvergenceTracker:
         initial_q: float,
         snapshot: Any = None,
     ):
+        # Reject silently-broken configurations up front: patience < 1
+        # stops after every iteration regardless of progress, and
+        # theta < 0 counts every iteration as progress, so a limit cycle
+        # never converges and runs to max_iterations.
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if theta < 0:
+            raise ValueError(f"theta must be >= 0, got {theta}")
         self.theta = theta
         self.patience = patience
         #: best modularity seen so far (seeded with the initial state's, so
@@ -200,6 +210,13 @@ class Executor(ABC):
     def collect(self, trace: IterationTrace) -> None:
         """Attach this runtime's cost/comm accounting to the trace."""
 
+    def profilers(self) -> dict:
+        """Named :class:`~repro.gpusim.profiler.SimProfiler` instances this
+        runtime charges, for the observability layer to bridge into its
+        metrics registry at the end of a run. Runtimes without simulated
+        devices return the default empty dict."""
+        return {}
+
 
 # --------------------------------------------------------------------- #
 # oracle instrumentation
@@ -273,6 +290,9 @@ class EngineResult:
     processed_vertices: int = 0
     #: total adjacency entries touched by DecideAndMove
     processed_edges: int = 0
+    #: attached :class:`~repro.obs.manifest.RunManifest` (set by the
+    #: top-level entry points — ``gala()``, the CLI — not per engine run)
+    manifest: Optional[Any] = None
 
 
 # --------------------------------------------------------------------- #
@@ -301,61 +321,81 @@ def run_engine(executor: Executor, config: EngineConfig | None = None) -> Engine
     processed_vertices = 0
     processed_edges = 0
 
-    for it in range(cfg.max_iterations):
-        active_idx = np.flatnonzero(active)
-        active_edges = int(degrees[active_idx].sum())
-        processed_vertices += len(active_idx)
-        processed_edges += active_edges
+    # Observability is strictly opt-in: without an active session ``tr``
+    # is the shared no-op tracer and every span below is one branch.
+    sess = obs.current()
+    tr = sess.tracer if sess is not None else NULL_TRACER
+    runtime_name = type(executor).__name__
+    run_span = tr.span("engine/run", runtime=runtime_name, n=graph.n)
+    run_span.__enter__()
+    try:
+        for it in range(cfg.max_iterations):
+            iter_span = tr.span("engine/iteration", iteration=it)
+            iter_span.__enter__()
+            active_idx = np.flatnonzero(active)
+            active_edges = int(degrees[active_idx].sum())
+            processed_vertices += len(active_idx)
+            processed_edges += active_edges
 
-        with timers.measure("decide_and_move"):
-            if oracle is not None:
-                next_comm = oracle.decide(executor, active)
-            else:
-                next_comm = executor.decide(active_idx, active)
-        moved = next_comm != state.comm
+            with timers.measure("decide_and_move"), tr.span(
+                "engine/decide", active=len(active_idx), edges=active_edges
+            ):
+                if oracle is not None:
+                    next_comm = oracle.decide(executor, active)
+                else:
+                    next_comm = executor.decide(active_idx, active)
+            moved = next_comm != state.comm
 
-        trace = IterationTrace(
-            iteration=it,
-            num_active=len(active_idx),
-            num_inactive=graph.n - len(active_idx),
-            num_moved=int(moved.sum()),
-            modularity=0.0,  # filled below
-            delta_q=0.0,
-            predicted=it > 0,
-            active_edges=active_edges,
-            moved_edges=int(degrees[moved].sum()),
-        )
-        if oracle is not None:
-            oracle.annotate(trace, state.comm, active)
-
-        prev_comm = state.comm
-        next_q = executor.apply_and_sync(next_comm, moved)
-
-        trace.modularity = next_q
-        trace.delta_q = next_q - q
-        executor.collect(trace)
-        history.append(trace)
-
-        tracker.update(next_q, state.copy)
-
-        with timers.measure("pruning"):
-            ctx = IterationContext(
-                state=state,
-                prev_comm=prev_comm,
-                moved=moved,
-                active=active,
+            trace = IterationTrace(
                 iteration=it,
-                rng=rng,
-                remove_self=cfg.remove_self,
+                num_active=len(active_idx),
+                num_inactive=graph.n - len(active_idx),
+                num_moved=int(moved.sum()),
+                modularity=0.0,  # filled below
+                delta_q=0.0,
+                predicted=it > 0,
+                active_edges=active_edges,
+                moved_edges=int(degrees[moved].sum()),
             )
-            active = strategy.next_active(ctx)
+            if oracle is not None:
+                oracle.annotate(trace, state.comm, active)
 
-        q = next_q
-        if tracker.converged or trace.num_moved == 0:
-            break
+            prev_comm = state.comm
+            with tr.span("engine/apply_sync", moved=trace.num_moved):
+                next_q = executor.apply_and_sync(next_comm, moved)
+
+            trace.modularity = next_q
+            trace.delta_q = next_q - q
+            # collect() is cheap bookkeeping — not worth a span of its own
+            executor.collect(trace)
+            history.append(trace)
+            if sess is not None:
+                sess.record_iteration(trace, runtime=runtime_name)
+
+            tracker.update(next_q, state.copy)
+
+            with timers.measure("pruning"), tr.span("engine/prune"):
+                ctx = IterationContext(
+                    state=state,
+                    prev_comm=prev_comm,
+                    moved=moved,
+                    active=active,
+                    iteration=it,
+                    rng=rng,
+                    remove_self=cfg.remove_self,
+                )
+                active = strategy.next_active(ctx)
+
+            q = next_q
+            iter_span.tag(moved=trace.num_moved, q=next_q)
+            iter_span.__exit__(None, None, None)
+            if tracker.converged or trace.num_moved == 0:
+                break
+    finally:
+        run_span.__exit__(None, None, None)
 
     q, state = tracker.select(q, state)
-    return EngineResult(
+    result = EngineResult(
         communities=state.comm.copy(),
         modularity=float(q),
         num_iterations=len(history),
@@ -365,3 +405,6 @@ def run_engine(executor: Executor, config: EngineConfig | None = None) -> Engine
         processed_vertices=processed_vertices,
         processed_edges=processed_edges,
     )
+    if sess is not None:
+        sess.record_engine_result(result, executor)
+    return result

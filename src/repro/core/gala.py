@@ -110,10 +110,27 @@ def gala(
     cfg = config or GalaConfig()
     p1cfg = cfg.phase1_config()
     if cfg.phase1_only:
-        return run_phase1(graph, p1cfg)
-    return louvain(
+        result = run_phase1(graph, p1cfg)
+    else:
+        result = louvain(
+            graph,
+            phase1_config=p1cfg,
+            round_theta=cfg.round_theta,
+            max_rounds=cfg.max_rounds,
+        )
+
+    # Every GALA result carries a run manifest: config, seed, graph
+    # fingerprint, environment, per-level breakdown — plus the metrics
+    # summary when an observability session is active. `repro report`
+    # renders and diffs these.
+    from repro import obs
+
+    sess = obs.current()
+    result.manifest = obs.build_manifest(
+        result,
         graph,
-        phase1_config=p1cfg,
-        round_theta=cfg.round_theta,
-        max_rounds=cfg.max_rounds,
+        config=cfg,
+        metrics=sess.summary() if sess is not None else None,
+        runtime="gala",
     )
+    return result

@@ -22,6 +22,7 @@ from repro.core.kernels.shuffle import ShuffleKernel
 from repro.core.kernels.vectorized import DecideResult, _apply_guards
 from repro.core.state import CommunityState
 from repro.gpusim.device import Device
+from repro.obs import _session as obs
 
 
 class DispatchKernel:
@@ -61,11 +62,21 @@ class DispatchKernel:
         best_gain = np.empty(n_act, dtype=np.float64)
         stay_gain = np.empty(n_act, dtype=np.float64)
 
-        for mask, kernel in ((small, self.shuffle), (~small, self.hash)):
+        for mask, kernel, kname in (
+            (small, self.shuffle, "shuffle"),
+            (~small, self.hash, "hash"),
+        ):
             idx = active_idx[mask]
             if len(idx) == 0:
                 continue
-            part = kernel(state, idx, remove_self)
+            with obs.span(
+                "kernel/" + kname,
+                vertices=len(idx),
+                edges=int(degrees[mask].sum()),
+                engine=self.engine,
+            ):
+                part = kernel(state, idx, remove_self)
+            obs.inc(f"kernel/{kname}_vertices", len(idx))
             best_comm[mask] = part.best_comm
             best_gain[mask] = part.best_gain
             stay_gain[mask] = part.stay_gain

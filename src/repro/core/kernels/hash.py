@@ -42,6 +42,7 @@ from repro.gpusim.device import Device
 from repro.gpusim.hashtable import make_table
 from repro.gpusim.hashtable.base import SimHashTable, hash0_vec
 from repro.gpusim.hashtable.batched import BatchedTables
+from repro.obs import _session as obs
 
 _INT64_MAX = np.iinfo(np.int64).max
 _BANKS = 32  # shared_bank_conflict_factor's default bank count
@@ -351,19 +352,22 @@ class HashKernel:
             )[inv]
             for val in np.unique(gb):
                 sub = work[gb == val]
-                self._decide_block_group(
-                    state,
-                    active_idx[sub],
-                    deg[sub],
-                    cur[sub],
-                    strength_v[sub],
-                    int(val),
-                    remove_self,
-                    sub,
-                    best_comm,
-                    best_gain,
-                    stay_gain,
-                )
+                with obs.span(
+                    "kernel/hash_group", vertices=len(sub), global_buckets=int(val)
+                ):
+                    self._decide_block_group(
+                        state,
+                        active_idx[sub],
+                        deg[sub],
+                        cur[sub],
+                        strength_v[sub],
+                        int(val),
+                        remove_self,
+                        sub,
+                        best_comm,
+                        best_gain,
+                        stay_gain,
+                    )
         prof.count("hash_vertices", n_act)
         valid = np.isfinite(best_gain)
         best_comm = np.where(valid, best_comm, cur)

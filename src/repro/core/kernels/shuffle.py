@@ -45,6 +45,7 @@ from repro.gpusim import resolve_engine
 from repro.gpusim.costmodel import MemoryKind
 from repro.gpusim.device import Device
 from repro.gpusim.warp import WarpBatch, WarpContext
+from repro.obs import _session as obs
 
 _INT64_MAX = np.iinfo(np.int64).max
 
@@ -262,18 +263,19 @@ class ShuffleKernel:
         work = np.flatnonzero(deg > 0)
         for start in range(0, len(work), self.chunk_vertices):
             sub = work[start:start + self.chunk_vertices]
-            self._decide_warp_chunk(
-                state,
-                active_idx[sub],
-                deg[sub],
-                cur[sub],
-                strength_v[sub],
-                remove_self,
-                sub,
-                best_comm,
-                best_gain,
-                stay_gain,
-            )
+            with obs.span("kernel/shuffle_chunk", vertices=len(sub)):
+                self._decide_warp_chunk(
+                    state,
+                    active_idx[sub],
+                    deg[sub],
+                    cur[sub],
+                    strength_v[sub],
+                    remove_self,
+                    sub,
+                    best_comm,
+                    best_gain,
+                    stay_gain,
+                )
         prof.count("shuffle_vertices", n_act)
         valid = np.isfinite(best_gain)
         best_comm = np.where(valid, best_comm, cur)

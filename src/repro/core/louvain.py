@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.phase1 import Phase1Config, Phase1Result, run_phase1
 from repro.graph.coarsen import coarsen_graph, project_communities
 from repro.graph.csr import CSRGraph
+from repro.obs import _session as obs
 
 
 @dataclass
@@ -41,6 +42,8 @@ class LouvainResult:
     communities: np.ndarray
     modularity: float
     levels: list[LouvainLevel] = field(default_factory=list)
+    #: attached :class:`~repro.obs.manifest.RunManifest` (set by ``gala()``)
+    manifest: object = None
 
     @property
     def num_levels(self) -> int:
@@ -88,15 +91,24 @@ def louvain(
     current = graph
     best_q = -np.inf
 
-    for _ in range(max_rounds):
-        p1 = run_phase1(current, cfg)
-        coarse, mapping = coarsen_graph(current, p1.communities)
+    sess = obs.current()
+    for round_idx in range(max_rounds):
+        if sess is not None:
+            sess.context["level"] = round_idx
+        with obs.span(
+            "louvain/level", level=round_idx, n=current.n, edges=current.num_edges
+        ):
+            p1 = run_phase1(current, cfg)
+            with obs.span("louvain/coarsen", n=current.n):
+                coarse, mapping = coarsen_graph(current, p1.communities)
         levels.append(LouvainLevel(graph=current, phase1=p1, mapping=mapping))
         improved = p1.modularity - best_q
         best_q = max(best_q, p1.modularity)
         if improved < round_theta or coarse.n == current.n:
             break
         current = coarse
+    if sess is not None:
+        sess.context.pop("level", None)
 
     # Flatten the dendrogram onto the original vertices. The reported
     # modularity is recomputed on the flattened assignment so it is exact

@@ -201,6 +201,11 @@ class LocalExecutor(Executor):
             trace.sim_cycles = total - self._cycles_seen
             self._cycles_seen = total
 
+    def profilers(self) -> dict:
+        if self._device is None:
+            return {}
+        return {f"dev{self._device.device_id}": self._device.profiler}
+
 
 def run_phase1(
     graph: CSRGraph,

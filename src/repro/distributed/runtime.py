@@ -38,6 +38,7 @@ from repro.core.weights import make_weight_updater
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import VertexPartition, partition_contiguous
 from repro.distributed.halo import RankView, build_rank_views
+from repro.obs import _session as obs
 
 #: bytes per halo update record: vertex id (8) + community id (8)
 HALO_BYTES_PER_UPDATE = 16
@@ -180,15 +181,20 @@ class DistributedExecutor(Executor):
         # moves and (b) the updates it receives for its ghosts.
         iteration_bytes = 0
         iteration_messages = 0
-        for view, movers in zip(self.views, self._moved_per_rank):
-            self.local_comm[view.rank][movers] = next_comm[movers]
-            for dest, send_list in view.send_lists.items():
-                payload = np.intersect1d(movers, send_list, assume_unique=False)
-                if len(payload) == 0:
-                    continue
-                self.local_comm[dest][payload] = next_comm[payload]
-                iteration_bytes += len(payload) * HALO_BYTES_PER_UPDATE
-                iteration_messages += 1
+        halo_span = obs.span("halo/exchange", ranks=len(self.views))
+        with halo_span:
+            for view, movers in zip(self.views, self._moved_per_rank):
+                self.local_comm[view.rank][movers] = next_comm[movers]
+                for dest, send_list in view.send_lists.items():
+                    payload = np.intersect1d(movers, send_list, assume_unique=False)
+                    if len(payload) == 0:
+                        continue
+                    self.local_comm[dest][payload] = next_comm[payload]
+                    iteration_bytes += len(payload) * HALO_BYTES_PER_UPDATE
+                    iteration_messages += 1
+            halo_span.tag(bytes=iteration_bytes, messages=iteration_messages)
+        obs.inc("comm/halo_bytes_total", iteration_bytes)
+        obs.inc("comm/halo_messages_total", iteration_messages)
         self.stats.record(iteration_bytes, iteration_messages)
         self._last_bytes = iteration_bytes
         self._last_messages = iteration_messages

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import DeviceError
 from repro.gpusim.device import Device
+from repro.obs import _session as obs
 
 
 @dataclass
@@ -80,11 +81,20 @@ class Communicator:
         buffer size.
         """
         self._validate_buffers(buffers)
-        out = buffers[0].copy()
-        for buf in buffers[1:]:
-            np.maximum(out, buf, out=out)
-        self._charge_all(self._ring_allreduce_seconds(out.nbytes), bucket)
+        seconds = self._ring_allreduce_seconds(buffers[0].nbytes)
+        with obs.span(
+            "nccl/allreduce_max",
+            bytes=int(buffers[0].nbytes),
+            ranks=self.size,
+            simulated_seconds=seconds,
+            bucket=bucket,
+        ):
+            out = buffers[0].copy()
+            for buf in buffers[1:]:
+                np.maximum(out, buf, out=out)
+        self._charge_all(seconds, bucket)
         self._count_bytes(out.nbytes, dense=True)
+        obs.inc("nccl/collectives")
         return out
 
     def all_reduce_sum(
@@ -93,10 +103,19 @@ class Communicator:
         """Element-wise sum-AllReduce (for aggregate arrays)."""
         self._validate_buffers(buffers)
         out = buffers[0].astype(np.float64, copy=True)
-        for buf in buffers[1:]:
-            out += buf
-        self._charge_all(self._ring_allreduce_seconds(out.nbytes), bucket)
+        seconds = self._ring_allreduce_seconds(out.nbytes)
+        with obs.span(
+            "nccl/allreduce_sum",
+            bytes=int(out.nbytes),
+            ranks=self.size,
+            simulated_seconds=seconds,
+            bucket=bucket,
+        ):
+            for buf in buffers[1:]:
+                out += buf
+        self._charge_all(seconds, bucket)
         self._count_bytes(out.nbytes, dense=True)
+        obs.inc("nccl/collectives")
         return out
 
     def all_gather(
@@ -108,10 +127,20 @@ class Communicator:
         """
         if len(chunks) != self.size:
             raise DeviceError("need exactly one chunk per rank")
-        out = np.concatenate([np.atleast_1d(c) for c in chunks])
         max_bytes = max((np.atleast_1d(c).nbytes for c in chunks), default=0)
-        self._charge_all(self._ring_allgather_seconds(max_bytes), bucket)
-        self._count_bytes(sum(np.atleast_1d(c).nbytes for c in chunks), dense=False)
+        total_bytes = sum(np.atleast_1d(c).nbytes for c in chunks)
+        seconds = self._ring_allgather_seconds(max_bytes)
+        with obs.span(
+            "nccl/allgather",
+            bytes=int(total_bytes),
+            ranks=self.size,
+            simulated_seconds=seconds,
+            bucket=bucket,
+        ):
+            out = np.concatenate([np.atleast_1d(c) for c in chunks])
+        self._charge_all(seconds, bucket)
+        self._count_bytes(total_bytes, dense=False)
+        obs.inc("nccl/collectives")
         return out
 
     # ------------------------------------------------------------------ #

@@ -38,7 +38,13 @@ class SimProfiler:
         return float(sum(self.cycles.values()))
 
     def merge(self, other: "SimProfiler") -> None:
-        """Fold another profiler's charges into this one."""
+        """Fold another profiler's charges into this one.
+
+        Merging a profiler into itself would silently double every bucket
+        (iterating a dict while adding into it) — rejected explicitly.
+        """
+        if other is self:
+            raise ValueError("cannot merge a SimProfiler into itself")
         for k, v in other.cycles.items():
             self.cycles[k] += v
         for k, v in other.counters.items():

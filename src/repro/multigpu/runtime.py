@@ -45,6 +45,7 @@ from repro.multigpu.sync import (
     dense_sync_comm,
     sparse_sync_comm,
 )
+from repro.obs import _session as obs
 
 #: the unified per-iteration record (engine schema); kept under the
 #: historical multi-GPU name for existing consumers
@@ -194,24 +195,32 @@ class MultiGpuExecutor(Executor):
         # synchronise the new assignment across devices
         plan = choose_sync_mode(state.graph.n, num_moved, cfg.sync_mode)
         self._last_plan = plan
-        if plan.mode is SyncMode.DENSE:
-            merged = dense_sync_comm(
-                [next_comm] * cfg.num_gpus, self.owned_masks, self.communicator
-            )
-        else:
-            merged = sparse_sync_comm(
-                next_comm, self._moved_ids_per_rank, self.communicator
-            )
-            if cfg.num_gpus > 1:
-                # local scatter overhead of the sparse representation — a
-                # bulk rearrangement kernel, so charged at streaming rates
-                for dev in self.devices:
-                    dev.profiler.charge(
-                        "comm_sparse_scatter",
-                        dev.config.cost.access(
-                            MemoryKind.GLOBAL, max(num_moved, 1), coalesced=True
-                        ),
-                    )
+        with obs.span(
+            "sync/" + plan.mode.value,
+            bytes=plan.chosen_bytes,
+            moved=num_moved,
+            dense_bytes=plan.dense_bytes,
+            sparse_bytes=plan.sparse_bytes,
+        ):
+            if plan.mode is SyncMode.DENSE:
+                merged = dense_sync_comm(
+                    [next_comm] * cfg.num_gpus, self.owned_masks, self.communicator
+                )
+            else:
+                merged = sparse_sync_comm(
+                    next_comm, self._moved_ids_per_rank, self.communicator
+                )
+                if cfg.num_gpus > 1:
+                    # local scatter overhead of the sparse representation — a
+                    # bulk rearrangement kernel, so charged at streaming rates
+                    for dev in self.devices:
+                        dev.profiler.charge(
+                            "comm_sparse_scatter",
+                            dev.config.cost.access(
+                                MemoryKind.GLOBAL, max(num_moved, 1), coalesced=True
+                            ),
+                        )
+        obs.inc("sync/plan_bytes_total", plan.chosen_bytes)
         np.testing.assert_array_equal(merged, next_comm)  # sync soundness
 
         # apply + update (every device holds the merged state; charge the
@@ -235,6 +244,9 @@ class MultiGpuExecutor(Executor):
         total = sum(d.profiler.total_cycles for d in self.devices)
         trace.sim_cycles = total - self._cycles_seen
         self._cycles_seen = total
+
+    def profilers(self) -> dict:
+        return {f"dev{d.device_id}": d.profiler for d in self.devices}
 
 
 def run_multigpu_phase1(

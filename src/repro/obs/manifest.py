@@ -1,0 +1,199 @@
+"""Run manifests: everything needed to identify and compare two runs.
+
+A manifest is a plain JSON-serializable record of *what ran* (config,
+seed, graph fingerprint, package/environment versions) and *what it
+cost and produced* (per-level breakdown, metrics summary, modularity).
+``repro report`` renders one manifest as a breakdown table and diffs two
+(cycles, bytes, iterations, Q) — the comparison loop every perf PR in
+this repo needs.
+
+The builders are duck-typed over the result objects (``EngineResult`` has
+``history``/``timers``; ``LouvainResult`` has ``levels``) so this module
+never imports :mod:`repro.core` — the core imports *us*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+#: bump when the manifest layout changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def graph_fingerprint(graph) -> Dict[str, Any]:
+    """Structural identity of a :class:`CSRGraph`.
+
+    The digest covers the full CSR payload (offsets, neighbours, weights,
+    self-loops), so two graphs fingerprint equal iff they are the same
+    weighted graph with the same vertex numbering — the precondition for a
+    meaningful run-to-run diff.
+    """
+    h = hashlib.sha256()
+    for arr in (graph.indptr, graph.indices, graph.weights, graph.self_weight):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return {
+        "name": graph.name,
+        "n": int(graph.n),
+        "num_edges": int(graph.num_edges),
+        "total_weight": float(graph.total_weight),
+        "sha256": h.hexdigest()[:16],
+    }
+
+
+def environment_info() -> Dict[str, str]:
+    """Package/interpreter versions that can change a run's numbers."""
+    import scipy
+
+    from repro import __version__ as repro_version
+
+    return {
+        "repro": repro_version,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "platform": sys.platform,
+    }
+
+
+def _config_dict(config) -> Dict[str, Any]:
+    """A config dataclass (or dict, or None) as JSON-safe key/values."""
+    if config is None:
+        return {}
+    if isinstance(config, dict):
+        raw = config
+    elif dataclasses.is_dataclass(config):
+        raw = dataclasses.asdict(config)
+    else:
+        raw = {k: v for k, v in vars(config).items() if not k.startswith("_")}
+    out = {}
+    for k, v in raw.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        else:
+            out[k] = repr(v)
+    return out
+
+
+@dataclass
+class RunManifest:
+    """One run, fully described. Serializable via :mod:`repro.obs.io`."""
+
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    created_unix: float = field(default_factory=time.time)
+    #: how the run was invoked (CLI argv, example name, test id ...)
+    command: Optional[str] = None
+    runtime: str = "local"
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    graph: Dict[str, Any] = field(default_factory=dict)
+    environment: Dict[str, str] = field(default_factory=environment_info)
+    #: one row per hierarchy level (a phase-1-only run has exactly one)
+    levels: List[Dict[str, Any]] = field(default_factory=list)
+    #: final metrics-registry snapshot (empty when no session was active)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: headline outcome: modularity, iterations, communities, cost totals
+    result: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        known = {f.name for f in dataclasses.fields(cls)}
+        version = data.get("schema_version", 0)
+        if version > MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"manifest schema {version} newer than supported "
+                f"{MANIFEST_SCHEMA_VERSION}"
+            )
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+# --------------------------------------------------------------------- #
+# builders
+# --------------------------------------------------------------------- #
+def _history_totals(history) -> Dict[str, Any]:
+    return {
+        "iterations": len(history),
+        "moved": int(sum(t.num_moved for t in history)),
+        "comm_bytes": int(sum(t.comm_bytes for t in history)),
+        "comm_messages": int(sum(t.comm_messages for t in history)),
+        "sim_cycles": float(sum(t.sim_cycles for t in history)),
+        "active_edges": int(sum(t.active_edges for t in history)),
+    }
+
+
+def _level_row(index: int, graph, phase1) -> Dict[str, Any]:
+    row = {
+        "level": index,
+        "n": int(graph.n),
+        "num_edges": int(graph.num_edges),
+        "modularity": float(phase1.modularity),
+        "timers": dict(phase1.timers.totals()),
+    }
+    row.update(_history_totals(phase1.history))
+    return row
+
+
+def build_manifest(
+    result,
+    graph,
+    config=None,
+    metrics: Optional[Dict[str, Any]] = None,
+    command: Optional[str] = None,
+    runtime: str = "local",
+) -> RunManifest:
+    """Build a manifest for any runtime's result.
+
+    ``result`` may be a ``LouvainResult`` (multi-level), an
+    ``EngineResult``/``Phase1Result``, or the multi-GPU / distributed
+    result dataclasses — anything carrying ``modularity`` plus either
+    ``levels`` or ``history``.
+    """
+    seed = getattr(config, "seed", None) if config is not None else None
+    manifest = RunManifest(
+        command=command,
+        runtime=runtime,
+        config=_config_dict(config),
+        seed=seed if isinstance(seed, int) else None,
+        graph=graph_fingerprint(graph),
+        metrics=metrics or {},
+    )
+
+    levels = getattr(result, "levels", None)
+    if levels:
+        for i, lvl in enumerate(levels):
+            manifest.levels.append(_level_row(i, lvl.graph, lvl.phase1))
+    elif getattr(result, "history", None) is not None:
+        row = {
+            "level": 0,
+            "n": int(graph.n),
+            "num_edges": int(graph.num_edges),
+            "modularity": float(result.modularity),
+            "timers": dict(result.timers.totals())
+            if getattr(result, "timers", None) is not None
+            else {},
+        }
+        row.update(_history_totals(result.history))
+        manifest.levels.append(row)
+
+    communities = getattr(result, "communities", None)
+    manifest.result = {
+        "modularity": float(result.modularity),
+        "num_communities": (
+            int(len(np.unique(communities))) if communities is not None else None
+        ),
+        "num_levels": len(manifest.levels),
+        "iterations": int(sum(l["iterations"] for l in manifest.levels)),
+        "sim_cycles": float(sum(l["sim_cycles"] for l in manifest.levels)),
+        "comm_bytes": int(sum(l["comm_bytes"] for l in manifest.levels)),
+    }
+    return manifest

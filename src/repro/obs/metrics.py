@@ -1,0 +1,228 @@
+"""Namespaced metrics registry: counters, gauges, reservoir histograms.
+
+One registry per observability session collects every runtime's
+accounting under slash-namespaced names (``engine/iterations``,
+``gpusim/cycles/compute``, ``comm/halo_bytes`` ...). The *bridges* fold
+the repo's pre-existing instrumentation — :class:`SimProfiler` cycle
+buckets, :class:`TimerRegistry` wall-clock totals, NCCL byte counters —
+into the same snapshot, so the numbers in a metrics export are exactly
+the numbers those subsystems report (tested invariant: the bridge copies
+values, it never re-measures).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically accumulating value (ints or float seconds/bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def add(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {n})")
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (cumulative snapshots, sizes, configuration)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, v: Number) -> None:
+        self.value = v
+
+
+class Histogram:
+    """Streaming distribution with a bounded deterministic reservoir.
+
+    Keeps exact ``count``/``sum``/``min``/``max`` and a reservoir of up to
+    ``capacity`` samples for percentile estimates. Replacement is
+    deterministic (a multiplicative-congruential index), so two identical
+    runs produce identical snapshots — the property every other accounting
+    layer in this repo guarantees, kept here too.
+    """
+
+    __slots__ = ("name", "capacity", "count", "total", "min", "max",
+                 "_reservoir", "_rng_state")
+
+    def __init__(self, name: str, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("histogram capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: List[float] = []
+        self._rng_state = 0x9E3779B9
+
+    def observe(self, v: Number) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(v)
+            return
+        # deterministic reservoir sampling: LCG draw in [0, count)
+        self._rng_state = (self._rng_state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        j = self._rng_state % self.count
+        if j < self.capacity:
+            self._reservoir[j] = v
+
+    def percentile(self, q: float) -> float:
+        """Reservoir percentile (``q`` in [0, 100]); 0.0 when empty."""
+        if not self._reservoir:
+            return 0.0
+        if not (0.0 <= q <= 100.0):
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self._reservoir)
+        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named collection of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                self._check_free(name, self._counters)
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                self._check_free(name, self._gauges)
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str, capacity: int = 512) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                self._check_free(name, self._histograms)
+                h = self._histograms[name] = Histogram(name, capacity)
+            return h
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric name {name!r} already registered as a different kind"
+                )
+
+    # convenience one-liners ------------------------------------------- #
+    def inc(self, name: str, n: Number = 1) -> None:
+        self.counter(name).add(n)
+
+    def set(self, name: str, v: Number) -> None:
+        self.gauge(name).set(v)
+
+    def observe(self, name: str, v: Number) -> None:
+        self.histogram(name).observe(v)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict snapshot: ``{"counters": {...}, "gauges": {...},
+        "histograms": {name: {count, sum, ...}}}`` — JSON-serializable."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.snapshot() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    # bridges from the pre-existing instrumentation -------------------- #
+    def bridge_timers(self, timers, prefix: str = "time") -> None:
+        """Accumulate a :class:`~repro.utils.timer.TimerRegistry`'s totals.
+
+        Each engine run owns a fresh registry, so bridging *adds* —
+        multi-round pipelines (Louvain levels) sum to the whole-run total.
+        Values are copied from ``Timer.total`` verbatim, never re-measured.
+        """
+        for name, timer in timers.timers.items():
+            self.counter(f"{prefix}/{name}_seconds").add(timer.total)
+            self.counter(f"{prefix}/{name}_intervals").add(timer.count)
+
+    def bridge_sim_profiler(self, profiler, prefix: str = "gpusim") -> None:
+        """Mirror a :class:`~repro.gpusim.profiler.SimProfiler` snapshot.
+
+        Profilers accumulate for the lifetime of their device, so the
+        bridge *sets gauges* to the cumulative values — re-bridging after
+        every engine run converges on exactly ``profiler.snapshot()``.
+        """
+        for bucket, cycles in profiler.cycles.items():
+            self.gauge(f"{prefix}/cycles/{bucket}").set(cycles)
+        for name, n in profiler.counters.items():
+            self.gauge(f"{prefix}/counters/{name}").set(n)
+        self.gauge(f"{prefix}/total_cycles").set(profiler.total_cycles)
+
+    def bridge_devices(self, devices: Iterable, prefix: str = "gpusim") -> None:
+        """Bridge a set of simulated devices: per-device and merged views."""
+        from repro.gpusim.profiler import SimProfiler
+
+        devices = list(devices)
+        merged = SimProfiler()
+        for dev in devices:
+            merged.merge(dev.profiler)
+            if len(devices) > 1:
+                self.bridge_sim_profiler(
+                    dev.profiler, prefix=f"{prefix}/dev{dev.device_id}"
+                )
+        if devices:
+            self.bridge_sim_profiler(merged, prefix=prefix)
+
+    def bridge_halo(self, stats, prefix: str = "comm") -> None:
+        """Mirror a distributed run's cumulative :class:`HaloStats`."""
+        self.gauge(f"{prefix}/halo_bytes").set(stats.bytes_sent)
+        self.gauge(f"{prefix}/halo_messages").set(stats.messages)

@@ -73,6 +73,31 @@ class TestConvergenceTracker:
         t.update(0.1, lambda: "worse")
         assert t.select(0.1, "worse") == (0.8, "init")
 
+    @pytest.mark.parametrize("patience", [0, -1, -100])
+    def test_invalid_patience_rejected(self, patience):
+        # patience < 1 would stop after every iteration regardless of Q
+        with pytest.raises(ValueError, match="patience"):
+            ConvergenceTracker(theta=1e-6, patience=patience, initial_q=0.0)
+
+    @pytest.mark.parametrize("theta", [-1e-9, -1.0])
+    def test_negative_theta_rejected(self, theta):
+        # theta < 0 counts every iteration as progress: a limit cycle
+        # would never converge and always run to max_iterations
+        with pytest.raises(ValueError, match="theta"):
+            ConvergenceTracker(theta=theta, patience=3, initial_q=0.0)
+
+    def test_boundary_values_accepted(self):
+        t = ConvergenceTracker(theta=0.0, patience=1, initial_q=0.0)
+        assert t.update(0.1, lambda: "a")  # theta=0: any gain is progress
+        assert not t.update(0.05, lambda: "a")
+        assert t.converged  # patience=1: one regressing iteration stops
+
+    def test_invalid_config_rejected_via_phase1(self, ring):
+        with pytest.raises(ValueError, match="patience"):
+            run_phase1(ring, Phase1Config(patience=0))
+        with pytest.raises(ValueError, match="theta"):
+            run_phase1(ring, Phase1Config(theta=-1e-6))
+
 
 class TestUnifiedTraceSchema:
     def test_phase1_aliases_are_engine_types(self):

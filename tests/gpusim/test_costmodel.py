@@ -81,6 +81,15 @@ class TestProfiler:
         assert a.cycles["x"] == 3.0
         assert a.counters["n"] == 5
 
+    def test_merge_self_rejected(self):
+        """Merging a profiler into itself would silently double every
+        bucket (and mutate the dict being iterated)."""
+        p = SimProfiler()
+        p.charge("x", 1.0)
+        with pytest.raises(ValueError, match="itself"):
+            p.merge(p)
+        assert p.cycles["x"] == 1.0  # untouched after the rejected call
+
     def test_snapshot_merge_round_trip(self):
         """Splitting work across profilers and merging reproduces the
         single-profiler snapshot exactly."""

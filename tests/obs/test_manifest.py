@@ -1,0 +1,109 @@
+"""Run manifests: graph fingerprints, builders for every result shape,
+and the save/load round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.gala import GalaConfig, gala
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.graph.generators import ring_of_cliques
+from repro.obs import (
+    RunManifest,
+    build_manifest,
+    environment_info,
+    graph_fingerprint,
+    load_manifest,
+    save_manifest,
+)
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+
+class TestFingerprint:
+    def test_stable_for_same_graph(self):
+        g = ring_of_cliques(4, 5)
+        assert graph_fingerprint(g) == graph_fingerprint(g)
+
+    def test_sensitive_to_structure(self):
+        a = graph_fingerprint(ring_of_cliques(4, 5))
+        b = graph_fingerprint(ring_of_cliques(4, 6))
+        assert a["sha256"] != b["sha256"]
+
+    def test_sensitive_to_weights(self, weighted_graph, karate):
+        # same test fixture module, different weighted payloads
+        assert (
+            graph_fingerprint(weighted_graph)["sha256"]
+            != graph_fingerprint(karate)["sha256"]
+        )
+
+    def test_fields(self, karate):
+        fp = graph_fingerprint(karate)
+        assert fp["n"] == 34
+        assert len(fp["sha256"]) == 16
+        assert fp["total_weight"] > 0
+
+
+class TestBuilders:
+    def test_from_louvain_result(self, karate):
+        result = gala(karate)
+        m = build_manifest(result, karate, config=GalaConfig(), runtime="gala")
+        assert m.runtime == "gala"
+        assert m.seed == 0
+        assert len(m.levels) == result.num_levels
+        assert m.result["modularity"] == pytest.approx(result.modularity)
+        assert m.result["num_communities"] == result.num_communities
+        assert m.result["iterations"] == sum(l["iterations"] for l in m.levels)
+        # level rows carry the per-phase timers for the report
+        assert "decide_and_move" in m.levels[0]["timers"]
+
+    def test_from_phase1_result(self, karate):
+        result = run_phase1(karate, Phase1Config())
+        m = build_manifest(result, karate, config=Phase1Config())
+        assert len(m.levels) == 1
+        assert m.levels[0]["iterations"] == len(result.history)
+        assert m.levels[0]["moved"] == sum(t.num_moved for t in result.history)
+
+    def test_gala_attaches_manifest_automatically(self, karate):
+        result = gala(karate)
+        assert result.manifest is not None
+        assert result.manifest.runtime == "gala"
+        assert result.manifest.graph["sha256"] == graph_fingerprint(karate)["sha256"]
+
+    def test_config_serialized_json_safe(self, karate):
+        result = run_phase1(karate, Phase1Config())
+        m = build_manifest(result, karate, config=Phase1Config(pruning="mg"))
+        assert m.config["pruning"] == "mg"
+        for v in m.config.values():
+            assert isinstance(v, (str, int, float, bool)) or v is None
+
+
+class TestEnvironment:
+    def test_versions_present(self):
+        env = environment_info()
+        assert set(env) >= {"repro", "python", "numpy", "scipy", "platform"}
+        assert env["numpy"] == np.__version__
+
+
+class TestRoundTrip:
+    def test_save_load(self, karate, tmp_path):
+        result = gala(karate)
+        m = build_manifest(result, karate, command="test run", runtime="gala")
+        path = tmp_path / "m.json"
+        save_manifest(m, str(path))
+        loaded = load_manifest(str(path))
+        assert loaded.command == "test run"
+        assert loaded.graph == m.graph
+        assert loaded.result == m.result
+        assert loaded.levels == m.levels
+        assert loaded.schema_version == MANIFEST_SCHEMA_VERSION
+
+    def test_rejects_newer_schema(self):
+        with pytest.raises(ValueError, match="newer than supported"):
+            RunManifest.from_dict(
+                {"schema_version": MANIFEST_SCHEMA_VERSION + 1}
+            )
+
+    def test_ignores_unknown_fields(self):
+        m = RunManifest.from_dict(
+            {"schema_version": 1, "runtime": "gala", "extra_field": 42}
+        )
+        assert m.runtime == "gala"

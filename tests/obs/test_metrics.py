@@ -1,0 +1,154 @@
+"""Metrics registry: primitives, determinism, and the bridge exactness
+invariant — bridged values equal the source subsystem's own report."""
+
+import pytest
+
+from repro.gpusim.profiler import SimProfiler
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.utils.timer import TimerRegistry
+
+
+class TestPrimitives:
+    def test_counter_accumulates_and_rejects_negative(self):
+        c = Counter("bytes")
+        c.add(5)
+        c.add(2.5)
+        assert c.value == 7.5
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.add(-1)
+
+    def test_gauge_keeps_last_value(self):
+        g = Gauge("cycles")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+    def test_histogram_exact_stats(self):
+        h = Histogram("x")
+        for v in [1, 2, 3, 4, 5]:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == 15.0
+        assert snap["min"] == 1.0 and snap["max"] == 5.0
+        assert snap["mean"] == 3.0
+        assert snap["p50"] == 3.0
+
+    def test_histogram_empty_snapshot(self):
+        assert Histogram("x").snapshot()["count"] == 0
+
+    def test_histogram_reservoir_deterministic(self):
+        # two identical observation streams -> identical snapshots, even
+        # past the reservoir capacity (run-to-run reproducibility)
+        h1, h2 = Histogram("a", capacity=64), Histogram("b", capacity=64)
+        for i in range(1000):
+            v = (i * 37) % 251
+            h1.observe(v)
+            h2.observe(v)
+        s1, s2 = h1.snapshot(), h2.snapshot()
+        s1.pop("count"), s2.pop("count")
+        assert s1 == s2
+
+    def test_histogram_percentile_bounds(self):
+        h = Histogram("x")
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestRegistry:
+    def test_namespaced_snapshot(self):
+        m = MetricsRegistry()
+        m.inc("engine/iterations", 3)
+        m.set("gpusim/total_cycles", 1234.5)
+        m.observe("iter/num_moved", 10)
+        snap = m.snapshot()
+        assert snap["counters"] == {"engine/iterations": 3}
+        assert snap["gauges"] == {"gpusim/total_cycles": 1234.5}
+        assert snap["histograms"]["iter/num_moved"]["count"] == 1
+
+    def test_same_name_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+
+    def test_cross_kind_name_collision_rejected(self):
+        m = MetricsRegistry()
+        m.inc("engine/iterations")
+        with pytest.raises(ValueError, match="different kind"):
+            m.set("engine/iterations", 1)
+
+    def test_snapshot_keys_sorted(self):
+        m = MetricsRegistry()
+        m.inc("b")
+        m.inc("a")
+        assert list(m.snapshot()["counters"]) == ["a", "b"]
+
+
+class TestBridges:
+    def test_bridge_timers_copies_totals_exactly(self):
+        timers = TimerRegistry()
+        with timers.measure("decide_and_move"):
+            pass
+        with timers.measure("decide_and_move"):
+            pass
+        with timers.measure("pruning"):
+            pass
+        m = MetricsRegistry()
+        m.bridge_timers(timers)
+        snap = m.snapshot()["counters"]
+        totals = timers.totals()
+        # the exactness invariant: values are copied, never re-measured
+        assert snap["time/decide_and_move_seconds"] == totals["decide_and_move"]
+        assert snap["time/pruning_seconds"] == totals["pruning"]
+        assert snap["time/decide_and_move_intervals"] == 2
+        assert snap["time/pruning_intervals"] == 1
+
+    def test_bridge_timers_accumulates_across_runs(self):
+        # each engine run owns a fresh registry; bridging twice sums
+        t1, t2 = TimerRegistry(), TimerRegistry()
+        with t1.measure("aggregate"):
+            pass
+        with t2.measure("aggregate"):
+            pass
+        m = MetricsRegistry()
+        m.bridge_timers(t1)
+        m.bridge_timers(t2)
+        expected = t1.totals()["aggregate"] + t2.totals()["aggregate"]
+        assert m.snapshot()["counters"]["time/aggregate_seconds"] == expected
+
+    def test_bridge_sim_profiler_mirrors_snapshot(self):
+        prof = SimProfiler()
+        prof.charge("compute", 100.0)
+        prof.charge("hashtable", 40.0)
+        prof.count("bank_conflict_steps", 7)
+        m = MetricsRegistry()
+        m.bridge_sim_profiler(prof)
+        gauges = m.snapshot()["gauges"]
+        snap = prof.snapshot()
+        for bucket, cycles in snap["cycles"].items():
+            assert gauges[f"gpusim/cycles/{bucket}"] == cycles
+        for name, n in snap["counters"].items():
+            assert gauges[f"gpusim/counters/{name}"] == n
+        assert gauges["gpusim/total_cycles"] == prof.total_cycles
+
+    def test_bridge_sim_profiler_rebridge_converges(self):
+        # profilers are cumulative for the device lifetime: bridging again
+        # after more charges must converge on the new snapshot, not double
+        prof = SimProfiler()
+        prof.charge("compute", 10.0)
+        m = MetricsRegistry()
+        m.bridge_sim_profiler(prof)
+        prof.charge("compute", 5.0)
+        m.bridge_sim_profiler(prof)
+        assert m.snapshot()["gauges"]["gpusim/cycles/compute"] == 15.0
+
+    def test_bridge_halo(self):
+        class Stats:
+            bytes_sent = 4096
+            messages = 12
+
+        m = MetricsRegistry()
+        m.bridge_halo(Stats())
+        gauges = m.snapshot()["gauges"]
+        assert gauges["comm/halo_bytes"] == 4096
+        assert gauges["comm/halo_messages"] == 12

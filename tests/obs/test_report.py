@@ -1,0 +1,79 @@
+"""Rendering and diffing manifests (the `repro report` backend)."""
+
+import pytest
+
+from repro.core.gala import gala
+from repro.graph.generators import ring_of_cliques
+from repro.obs import build_manifest
+from repro.obs.report import diff_manifests, render_diff, render_manifest
+
+
+@pytest.fixture(scope="module")
+def manifests():
+    g = ring_of_cliques(8, 6)
+    a = build_manifest(gala(g), g, command="run a", runtime="gala")
+    b = build_manifest(gala(g), g, command="run b", runtime="gala")
+    return a, b
+
+
+class TestRender:
+    def test_header_and_tables(self, manifests):
+        a, _ = manifests
+        text = render_manifest(a)
+        assert "run: run a" in text
+        assert "runtime=gala" in text
+        assert f"sha256={a.graph['sha256']}" in text
+        assert "per-level breakdown" in text
+        assert "per-phase wall clock" in text
+        assert "decide_and_move" in text
+
+    def test_one_row_per_level(self, manifests):
+        a, _ = manifests
+        text = render_manifest(a)
+        table = text.split("per-level breakdown")[1]
+        table = table.split("per-phase")[0]
+        data_rows = [
+            ln for ln in table.splitlines()
+            if ln and not ln.startswith(("level", "-")) and "|" in ln
+        ]
+        assert len(data_rows) == len(a.levels)
+
+    def test_cycle_table_only_with_gpusim_metrics(self, manifests):
+        a, _ = manifests
+        assert "simulated cycle buckets" not in render_manifest(a)
+        a2 = build_manifest(
+            gala(ring_of_cliques(4, 4)),
+            ring_of_cliques(4, 4),
+            metrics={"gauges": {"gpusim/cycles/compute": 100.0}},
+        )
+        assert "simulated cycle buckets" in render_manifest(a2)
+
+
+class TestDiff:
+    def test_headline_rows(self, manifests):
+        a, b = manifests
+        rows = {r["metric"]: r for r in diff_manifests(a, b)}
+        assert rows["modularity"]["delta"] == 0  # identical runs
+        assert rows["iterations"]["delta"] == 0
+        assert {"modularity", "iterations", "levels", "sim_cycles",
+                "comm_bytes", "wall_seconds"} <= set(rows)
+        # wall clock differs run to run but the ratio column exists
+        assert "b/a" in rows["wall_seconds"]
+
+    def test_per_phase_rows(self, manifests):
+        a, b = manifests
+        metrics = {r["metric"] for r in diff_manifests(a, b)}
+        assert "time/decide_and_move" in metrics
+
+    def test_render_diff_warns_on_different_graphs(self, manifests):
+        a, _ = manifests
+        g2 = ring_of_cliques(3, 7)
+        c = build_manifest(gala(g2), g2, command="run c")
+        out = render_diff(a, c)
+        assert "WARNING: graphs differ" in out
+
+    def test_render_diff_same_graph_no_warning(self, manifests):
+        a, b = manifests
+        out = render_diff(a, b)
+        assert "WARNING" not in out
+        assert "diff: a=run a" in out

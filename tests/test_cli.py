@@ -85,6 +85,83 @@ class TestBenchDelegation:
         assert "fig5" in out and "table1" in out
 
 
+class TestObservability:
+    def test_detect_writes_all_artifacts(self, karate_file, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.jsonl"
+        manifest = tmp_path / "run.manifest.json"
+        assert main([
+            "detect", karate_file,
+            "--trace", str(trace),
+            "--metrics", str(metrics),
+            "--manifest", str(manifest),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace" in out
+        assert "wrote metrics JSONL" in out
+        assert "wrote run manifest" in out
+
+        from repro.obs import (
+            load_manifest,
+            read_metrics_jsonl,
+            validate_chrome_trace,
+        )
+
+        validate_chrome_trace(str(trace))
+        records = read_metrics_jsonl(str(metrics))
+        assert records[-1]["kind"] == "summary"
+        m = load_manifest(str(manifest))
+        assert m.runtime == "gala"
+        assert m.command.startswith("detect")
+        assert m.result["modularity"] > 0
+
+    def test_detect_manifest_alone(self, karate_file, tmp_path):
+        manifest = tmp_path / "m.json"
+        assert main(["detect", karate_file, "--manifest", str(manifest)]) == 0
+        assert manifest.exists()
+
+    def test_detect_leiden_manifest(self, karate_file, tmp_path):
+        manifest = tmp_path / "m.json"
+        assert main([
+            "detect", karate_file, "--algorithm", "leiden",
+            "--manifest", str(manifest),
+        ]) == 0
+        from repro.obs import load_manifest
+
+        assert load_manifest(str(manifest)).runtime == "leiden"
+
+    def test_report_single(self, karate_file, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        main(["detect", karate_file, "--manifest", str(manifest)])
+        capsys.readouterr()
+        assert main(["report", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "per-level breakdown" in out
+        assert "per-phase wall clock" in out
+
+    def test_report_diff(self, karate_file, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["detect", karate_file, "--manifest", str(a)])
+        main(["detect", karate_file, "--pruning", "none", "--manifest", str(b)])
+        capsys.readouterr()
+        assert main(["report", str(a), str(b), "--diff-only"]) == 0
+        out = capsys.readouterr().out
+        assert "diff:" in out
+        assert "modularity" in out
+        assert "per-level breakdown" not in out  # --diff-only suppresses
+
+    def test_report_many_summarises(self, karate_file, tmp_path, capsys):
+        paths = []
+        for i in range(3):
+            p = tmp_path / f"m{i}.json"
+            main(["detect", karate_file, "--manifest", str(p)])
+            paths.append(str(p))
+        capsys.readouterr()
+        assert main(["report"] + paths) == 0
+        out = capsys.readouterr().out
+        assert "manifest summary" in out
+
+
 class TestLeidenAndScoring:
     def test_detect_leiden(self, karate_file, capsys):
         assert main(["detect", karate_file, "--algorithm", "leiden"]) == 0

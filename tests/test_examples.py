@@ -30,6 +30,7 @@ def test_examples_directory_complete():
         "lfr_quality_study.py",
         "multigpu_scaling.py",
         "hierarchical_communities.py",
+        "trace_and_report.py",
     } <= names
 
 
@@ -70,6 +71,15 @@ def test_hierarchical_communities(capsys):
     mod.web_graph_demo()
     out = capsys.readouterr().out
     assert "level" in out
+
+
+def test_trace_and_report(capsys):
+    mod = _load("trace_and_report.py")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "traced" in out
+    assert "per-level breakdown" in out
+    assert "diff:" in out
 
 
 def test_leiden_vs_louvain(capsys):
