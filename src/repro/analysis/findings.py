@@ -1,0 +1,179 @@
+"""Structured sanitizer findings and the bounded log that collects them.
+
+Every checker reports problems as :class:`Finding` records — the sanitizer
+analog of a cuda-memcheck report line: which checker fired, what kind of
+hazard, in which kernel/launch, at which address, touched by which lanes.
+Findings are plain data (JSON-serialisable via :meth:`Finding.as_dict`) so
+they can ride inside a :class:`~repro.obs.manifest.RunManifest`, be written
+as a report artifact from the CLI, and be asserted on in mutation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import (
+    InvariantViolationError,
+    MemcheckError,
+    RaceHazardError,
+    SanitizerError,
+    SynccheckError,
+)
+
+#: checker names, in report order
+CHECKERS = ("racecheck", "memcheck", "synccheck", "invariant")
+
+_ERROR_TYPES = {
+    "racecheck": RaceHazardError,
+    "memcheck": MemcheckError,
+    "synccheck": SynccheckError,
+    "invariant": InvariantViolationError,
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer finding.
+
+    Attributes
+    ----------
+    checker:
+        Which checker fired (one of :data:`CHECKERS`).
+    kind:
+        The specific defect, e.g. ``write-write-hazard``, ``oob-access``,
+        ``uninitialised-read``, ``barrier-divergence``, ``mask-mismatch``,
+        ``weight-conservation``, ``lemma5-false-negative``.
+    message:
+        Human-readable one-liner.
+    kernel:
+        Simulated kernel (or subsystem) the event came from, when known.
+    launch:
+        Launch ordinal within the sanitized scope, when known.
+    space:
+        Memory space of the offending access (``shared``/``global``), when
+        the finding is about a memory address.
+    address:
+        Offending address/slot within its space, when applicable.
+    lanes:
+        The lane (thread) ids involved, when applicable.
+    details:
+        Free-form extra payload (vertex ids, expected/actual values, ...).
+    """
+
+    checker: str
+    kind: str
+    message: str
+    kernel: Optional[str] = None
+    launch: Optional[int] = None
+    space: Optional[str] = None
+    address: Optional[int] = None
+    lanes: Optional[tuple] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (tuples become lists)."""
+        return {
+            "checker": self.checker,
+            "kind": self.kind,
+            "message": self.message,
+            "kernel": self.kernel,
+            "launch": self.launch,
+            "space": self.space,
+            "address": self.address,
+            "lanes": None if self.lanes is None else list(self.lanes),
+            "details": dict(self.details),
+        }
+
+    def to_error(self) -> SanitizerError:
+        """The matching :class:`SanitizerError` subclass for this finding."""
+        err = _ERROR_TYPES.get(self.checker, SanitizerError)
+        return err(self.message, findings=[self])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = self.kernel or "?"
+        if self.launch is not None:
+            where += f"#L{self.launch}"
+        addr = ""
+        if self.address is not None:
+            addr = f" {self.space or 'mem'}[{self.address}]"
+        return f"[{self.checker}:{self.kind}] {where}{addr}: {self.message}"
+
+
+class FindingLog:
+    """Bounded, counted collection of findings.
+
+    Counting is exact even past the storage bound: ``total`` and the
+    per-checker / per-kind counters keep incrementing after ``max_stored``
+    findings have been retained, so a pathological run cannot exhaust
+    memory while still reporting the true finding volume.
+    """
+
+    def __init__(self, max_stored: int = 1000, on_add=None):
+        self.max_stored = max_stored
+        self.findings: List[Finding] = []
+        self.total = 0
+        self.by_checker: Dict[str, int] = {}
+        self.by_kind: Dict[str, int] = {}
+        #: optional callback invoked with each recorded finding — the
+        #: sanitizer session uses it to bridge findings into repro.obs
+        #: metrics and to implement ``on_finding="raise"``
+        self.on_add = on_add
+
+    def add(self, finding: Finding) -> None:
+        self.total += 1
+        self.by_checker[finding.checker] = (
+            self.by_checker.get(finding.checker, 0) + 1
+        )
+        self.by_kind[finding.kind] = self.by_kind.get(finding.kind, 0) + 1
+        if len(self.findings) < self.max_stored:
+            self.findings.append(finding)
+        if self.on_add is not None:
+            self.on_add(finding)
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        for f in findings:
+            self.add(f)
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    @property
+    def clean(self) -> bool:
+        return self.total == 0
+
+    def count(self, checker: str) -> int:
+        return self.by_checker.get(checker, 0)
+
+    def summary(self) -> Dict[str, Any]:
+        """Totals by checker/kind — the manifest/metrics payload."""
+        return {
+            "total": self.total,
+            "stored": len(self.findings),
+            "by_checker": dict(self.by_checker),
+            "by_kind": dict(self.by_kind),
+        }
+
+    def as_report(self) -> Dict[str, Any]:
+        """Full JSON report: summary + the stored finding records."""
+        report = self.summary()
+        report["findings"] = [f.as_dict() for f in self.findings]
+        return report
+
+    def render(self, limit: int = 20) -> str:
+        """Plain-text report for terminals/CI logs."""
+        if self.clean:
+            return "sanitizer: 0 findings"
+        lines = [f"sanitizer: {self.total} finding(s)"]
+        for checker in CHECKERS:
+            n = self.by_checker.get(checker, 0)
+            if n:
+                lines.append(f"  {checker:10s} {n}")
+        for f in self.findings[:limit]:
+            lines.append(f"  - {f}")
+        if self.total > limit:
+            lines.append(f"  ... and {self.total - limit} more")
+        return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Memcheck: bounds, initialisation, and capacity checks for simulated memory.
+
+Three defects, all analogs of what ``cuda-memcheck`` reports on real
+kernels:
+
+* **oob-access** — a bucket/slot index outside its array. The check both
+  records a finding and tells the caller (returns a mask of valid
+  addresses) so instrumented code can skip the faulting access and keep
+  running, the way ``cuda-memcheck`` keeps a kernel alive to collect more
+  errors.
+* **uninitialised-read** — a read of a slot no lane has written since the
+  table was last reset. Tracked by shadow bitmaps per region.
+* **capacity-overflow** — the shared level of a hierarchical table filled
+  completely before the global spill engaged (the paper's Section 4.2
+  layout expects shared occupancy to stay below capacity so `hash0`
+  probing terminates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from .findings import Finding
+
+#: cap on per-call findings so a wild address vector cannot flood the log
+_MAX_PER_CALL = 16
+
+
+class MemChecker:
+    """Bounds / shadow-init / capacity checks, vectorised over lanes."""
+
+    def __init__(self, log):
+        self._log = log
+        # region -> shadow "has been written" bitmap
+        self._shadow: Dict[Hashable, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # bounds
+    # ------------------------------------------------------------------ #
+
+    def check_bounds(
+        self,
+        region: Hashable,
+        addresses,
+        size: int,
+        kernel: Optional[str] = None,
+        launch: Optional[int] = None,
+        lanes=None,
+    ) -> np.ndarray:
+        """Validate ``0 <= addresses < size``; report violations.
+
+        Returns a boolean mask (same shape as ``addresses``) that is True
+        for in-bounds addresses, so callers can mask out the faulting
+        accesses and continue.
+        """
+        addrs = np.atleast_1d(np.asarray(addresses))
+        ok = (addrs >= 0) & (addrs < size)
+        if not bool(ok.all()):
+            bad = np.flatnonzero(~ok)
+            lane_arr = None
+            if lanes is not None:
+                lane_arr = np.atleast_1d(np.asarray(lanes))
+                if lane_arr.shape[0] == 1 and addrs.shape[0] > 1:
+                    lane_arr = np.broadcast_to(lane_arr, addrs.shape)
+            space = None
+            tag = region
+            if isinstance(region, tuple) and len(region) == 2:
+                tag, space = region
+            for i in bad[:_MAX_PER_CALL].tolist():
+                lane = None if lane_arr is None else (int(lane_arr[i]),)
+                self._log.add(
+                    Finding(
+                        checker="memcheck",
+                        kind="oob-access",
+                        message=(
+                            f"address {int(addrs[i])} outside "
+                            f"[0, {size}) (region={tag!r})"
+                        ),
+                        kernel=kernel,
+                        launch=launch,
+                        space=space,
+                        address=int(addrs[i]),
+                        lanes=lane,
+                        details={"size": int(size)},
+                    )
+                )
+            if bad.shape[0] > _MAX_PER_CALL:
+                self._log.add(
+                    Finding(
+                        checker="memcheck",
+                        kind="oob-access",
+                        message=(
+                            f"{int(bad.shape[0] - _MAX_PER_CALL)} further "
+                            f"out-of-bounds addresses suppressed "
+                            f"(region={tag!r})"
+                        ),
+                        kernel=kernel,
+                        launch=launch,
+                        space=space,
+                    )
+                )
+        return ok if np.ndim(addresses) else ok.reshape(())
+
+    # ------------------------------------------------------------------ #
+    # shadow initialisation state
+    # ------------------------------------------------------------------ #
+
+    def reset_shadow(self, region: Hashable, size: int) -> None:
+        """(Re)declare a region as fully uninitialised, e.g. on table reset."""
+        self._shadow[region] = np.zeros(int(size), dtype=bool)
+
+    def mark_init(self, region: Hashable, addresses) -> None:
+        """Record that ``addresses`` in ``region`` now hold defined data."""
+        shadow = self._shadow.get(region)
+        if shadow is None:
+            return
+        addrs = np.atleast_1d(np.asarray(addresses))
+        valid = (addrs >= 0) & (addrs < shadow.shape[0])
+        shadow[addrs[valid]] = True
+
+    def check_init(
+        self,
+        region: Hashable,
+        addresses,
+        kernel: Optional[str] = None,
+        launch: Optional[int] = None,
+        lanes=None,
+    ) -> None:
+        """Report reads of slots never written since the last reset."""
+        shadow = self._shadow.get(region)
+        if shadow is None:
+            return
+        addrs = np.atleast_1d(np.asarray(addresses))
+        valid = (addrs >= 0) & (addrs < shadow.shape[0])
+        uninit = np.zeros(addrs.shape, dtype=bool)
+        uninit[valid] = ~shadow[addrs[valid]]
+        if not bool(uninit.any()):
+            return
+        space = None
+        tag = region
+        if isinstance(region, tuple) and len(region) == 2:
+            tag, space = region
+        lane_arr = None
+        if lanes is not None:
+            lane_arr = np.atleast_1d(np.asarray(lanes))
+            if lane_arr.shape[0] == 1 and addrs.shape[0] > 1:
+                lane_arr = np.broadcast_to(lane_arr, addrs.shape)
+        for i in np.flatnonzero(uninit)[:_MAX_PER_CALL].tolist():
+            lane = None if lane_arr is None else (int(lane_arr[i]),)
+            self._log.add(
+                Finding(
+                    checker="memcheck",
+                    kind="uninitialised-read",
+                    message=(
+                        f"read of never-initialised slot {int(addrs[i])} "
+                        f"(region={tag!r})"
+                    ),
+                    kernel=kernel,
+                    launch=launch,
+                    space=space,
+                    address=int(addrs[i]),
+                    lanes=lane,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # capacity
+    # ------------------------------------------------------------------ #
+
+    def check_capacity(
+        self,
+        region: Hashable,
+        occupied: int,
+        capacity: int,
+        kernel: Optional[str] = None,
+        launch: Optional[int] = None,
+    ) -> None:
+        """Report a shared level that filled completely before spilling."""
+        if capacity > 0 and occupied >= capacity:
+            space = None
+            tag = region
+            if isinstance(region, tuple) and len(region) == 2:
+                tag, space = region
+            self._log.add(
+                Finding(
+                    checker="memcheck",
+                    kind="capacity-overflow",
+                    message=(
+                        f"shared level full ({occupied}/{capacity} buckets) "
+                        f"before hierarchical spill (region={tag!r})"
+                    ),
+                    kernel=kernel,
+                    launch=launch,
+                    space=space,
+                    details={"occupied": int(occupied), "capacity": int(capacity)},
+                )
+            )

@@ -1,0 +1,154 @@
+"""Epoch-based happens-before racecheck for the simulated GPU stack.
+
+The model mirrors ``cuda-racecheck``: within one *epoch* (the span between
+two block barriers, or between kernel launch and the first barrier) every
+memory access by every lane is recorded as an event ``(region, address,
+lane, mode)`` where ``mode`` is ``read``, ``write`` (a plain, non-atomic
+store) or ``atomic``. When a barrier closes the epoch the recorded events
+are analysed per ``(region, address)``:
+
+* lanes that performed a plain write or an atomic form the *writer* set W;
+* lanes that performed a plain (non-atomic) read or write form the
+  *plain* set P;
+* a hazard exists iff W and P are both non-empty and the union W ∪ P spans
+  at least two distinct lanes.
+
+That predicate makes ``atomic``+``atomic`` safe (the hardware serialises
+them), ``read``+``read`` safe, and everything mixing a plain access with a
+concurrent access by another lane hazardous. Accesses by the *same* lane
+are program-ordered and never race with themselves. Hazards are classified
+``write-write`` (two lanes wrote, at least one plainly) or ``read-write``
+(a plain read overlapped a write).
+
+Regions keep separate address spaces apart: the hashtable instrumentation
+uses ``(tag, space)`` tuples such as ``("table", "shared")`` so a shared
+slot 3 never aliases a global slot 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from .findings import Finding
+
+#: max distinct lanes listed per finding (keeps records small)
+_MAX_LANES = 8
+
+_READ = 1
+_WRITE = 2
+_ATOMIC = 4
+
+_MODE_BITS = {"read": _READ, "write": _WRITE, "atomic": _ATOMIC}
+
+
+class RaceChecker:
+    """Collects per-epoch access events and reports hazards at barriers."""
+
+    def __init__(self, log):
+        self._log = log
+        # (region, address) -> {lane: mode_bits}
+        self._epoch: Dict[Tuple[Hashable, int], Dict[int, int]] = {}
+        self.events = 0
+        self._kernel: Optional[str] = None
+        self._launch: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # event recording
+    # ------------------------------------------------------------------ #
+
+    def access(
+        self,
+        region: Hashable,
+        addresses,
+        lanes,
+        mode: str,
+        kernel: Optional[str] = None,
+        launch: Optional[int] = None,
+    ) -> None:
+        """Record one or more accesses in the current epoch.
+
+        ``addresses`` and ``lanes`` may be scalars or equal-length
+        sequences (numpy arrays welcome). ``mode`` is ``read`` / ``write``
+        / ``atomic``. ``kernel``/``launch`` tag any finding produced when
+        the epoch closes.
+        """
+        bit = _MODE_BITS[mode]
+        addrs = np.atleast_1d(np.asarray(addresses))
+        lns = np.atleast_1d(np.asarray(lanes))
+        if lns.shape[0] == 1 and addrs.shape[0] > 1:
+            lns = np.broadcast_to(lns, addrs.shape)
+        epoch = self._epoch
+        self.events += int(addrs.shape[0])
+        # remember the most recent tags so findings at the closing barrier
+        # stay attributed even when later accesses omit them
+        if kernel is not None:
+            self._kernel = kernel
+        if launch is not None:
+            self._launch = launch
+        for addr, lane in zip(addrs.tolist(), lns.tolist()):
+            key = (region, addr)
+            lanes_map = epoch.get(key)
+            if lanes_map is None:
+                epoch[key] = {lane: bit}
+            else:
+                lanes_map[lane] = lanes_map.get(lane, 0) | bit
+
+    # ------------------------------------------------------------------ #
+    # epoch boundaries
+    # ------------------------------------------------------------------ #
+
+    def barrier(
+        self, kernel: Optional[str] = None, launch: Optional[int] = None
+    ) -> List[Finding]:
+        """Close the current epoch: analyse all events, then reset."""
+        findings: List[Finding] = []
+        for (region, addr), lanes_map in self._epoch.items():
+            if len(lanes_map) < 2:
+                continue  # single lane: program-ordered
+            writers = [ln for ln, bits in lanes_map.items() if bits & (_WRITE | _ATOMIC)]
+            plains = [ln for ln, bits in lanes_map.items() if bits & (_WRITE | _READ)]
+            if not writers or not plains:
+                continue
+            involved = sorted(set(writers) | set(plains))
+            if len(involved) < 2:
+                continue
+            plain_writers = [
+                ln for ln, bits in lanes_map.items() if bits & _WRITE
+            ]
+            if plain_writers and len(set(writers)) >= 2:
+                kind = "write-write-hazard"
+                msg = "two lanes wrote one address without atomics in one epoch"
+            else:
+                kind = "read-write-hazard"
+                msg = "a plain read overlapped a write by another lane in one epoch"
+            space = None
+            tag = region
+            if isinstance(region, tuple) and len(region) == 2:
+                tag, space = region
+            findings.append(
+                Finding(
+                    checker="racecheck",
+                    kind=kind,
+                    message=f"{msg} (region={tag!r})",
+                    kernel=kernel if kernel is not None else getattr(self, "_kernel", None),
+                    launch=launch if launch is not None else getattr(self, "_launch", None),
+                    space=space,
+                    address=int(addr),
+                    lanes=tuple(involved[:_MAX_LANES]),
+                    details={"n_lanes": len(involved)},
+                )
+            )
+        self._epoch = {}
+        self._kernel = None
+        self._launch = None
+        if findings:
+            self._log.extend(findings)
+        return findings
+
+    def end_launch(
+        self, kernel: Optional[str] = None, launch: Optional[int] = None
+    ) -> List[Finding]:
+        """Kernel exit is an implicit barrier: flush the open epoch."""
+        return self.barrier(kernel=kernel, launch=launch)

@@ -1,0 +1,137 @@
+"""Synccheck: barrier-divergence and warp-primitive mask checks.
+
+Two defect classes, analogs of ``cuda-synccheck``:
+
+* **barrier-divergence** — a block barrier reached while some threads of
+  the block are inactive (diverged). On hardware that deadlocks or is
+  undefined behaviour depending on the architecture; the simulator treats
+  partial participation as a finding.
+* **mask-mismatch** — a warp primitive (``__reduce_add_sync`` et al.)
+  invoked with an empty active mask, or with per-lane ``mask`` words
+  naming lanes that are not active in the warp. Real ``*_sync``
+  primitives require every named lane to participate; naming an inactive
+  lane hangs the warp.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .findings import Finding
+
+_MAX_LANES = 8
+
+
+class SyncChecker:
+    """Barrier and warp-primitive participation checks."""
+
+    def __init__(self, log):
+        self._log = log
+
+    def barrier(
+        self,
+        active,
+        block_size: Optional[int] = None,
+        kernel: Optional[str] = None,
+        launch: Optional[int] = None,
+    ) -> None:
+        """Check a block barrier.
+
+        ``active`` is a boolean participation mask over the block's
+        threads (or over the lanes known to the caller). ``block_size``
+        overrides the expected participant count when the mask covers only
+        a subset of the block.
+        """
+        mask = np.atleast_1d(np.asarray(active, dtype=bool))
+        expected = int(block_size) if block_size is not None else mask.shape[0]
+        present = int(mask.sum())
+        if present == expected:
+            return
+        missing = np.flatnonzero(~mask)
+        self._log.add(
+            Finding(
+                checker="synccheck",
+                kind="barrier-divergence",
+                message=(
+                    f"barrier reached by {present}/{expected} threads; "
+                    f"{expected - present} diverged"
+                ),
+                kernel=kernel,
+                launch=launch,
+                lanes=tuple(int(i) for i in missing[:_MAX_LANES]),
+                details={"present": present, "expected": expected},
+            )
+        )
+
+    def warp_primitive(
+        self,
+        primitive: str,
+        active,
+        masks=None,
+        kernel: Optional[str] = None,
+        launch: Optional[int] = None,
+    ) -> None:
+        """Check a warp-synchronous primitive call.
+
+        ``active`` is the warp's boolean active-lane mask (``(32,)`` for
+        the scalar engine, ``(n_warps, 32)`` for the batched engine).
+        ``masks``, when given, holds per-lane 32-bit participation words
+        (same leading shape as ``active``); any mask bit naming an
+        inactive lane is a mismatch.
+        """
+        act = np.asarray(active, dtype=bool)
+        flat = act.reshape(-1, act.shape[-1]) if act.ndim > 1 else act[None, :]
+        empty = ~flat.any(axis=1)
+        if bool(empty.any()):
+            for w in np.flatnonzero(empty)[:_MAX_LANES].tolist():
+                self._log.add(
+                    Finding(
+                        checker="synccheck",
+                        kind="mask-mismatch",
+                        message=(
+                            f"{primitive} invoked with an empty active mask"
+                            + (f" (warp {w})" if flat.shape[0] > 1 else "")
+                        ),
+                        kernel=kernel,
+                        launch=launch,
+                        details={"primitive": primitive},
+                    )
+                )
+        if masks is None:
+            return
+        lane_bits = np.uint32(1) << np.arange(act.shape[-1], dtype=np.uint32)
+        warp_word = (
+            (act.astype(np.uint32) * lane_bits).sum(axis=-1).astype(np.uint32)
+        )
+        m = np.asarray(masks, dtype=np.uint32)
+        mflat = m.reshape(-1, m.shape[-1]) if m.ndim > 1 else m[None, :]
+        wflat = np.atleast_1d(warp_word).reshape(-1)
+        # only masks supplied by *active* lanes matter; inactive lanes'
+        # mask words are dead values
+        stray = (mflat & ~wflat[:, None]) != 0
+        stray &= flat
+        if bool(stray.any()):
+            warps, lanes = np.nonzero(stray)
+            reported: List[int] = []
+            for w, lane in zip(warps.tolist(), lanes.tolist()):
+                if len(reported) >= _MAX_LANES:
+                    break
+                reported.append(lane)
+                extra = int(mflat[w, lane] & ~wflat[w])
+                self._log.add(
+                    Finding(
+                        checker="synccheck",
+                        kind="mask-mismatch",
+                        message=(
+                            f"{primitive} mask from lane {lane} names "
+                            f"inactive lanes (bits 0x{extra:08x})"
+                            + (f" (warp {w})" if mflat.shape[0] > 1 else "")
+                        ),
+                        kernel=kernel,
+                        launch=launch,
+                        lanes=(int(lane),),
+                        details={"primitive": primitive, "stray_bits": extra},
+                    )
+                )

@@ -50,6 +50,25 @@ def _add_detect(sub: argparse._SubParsersAction) -> None:
                    help="phase-1 convergence threshold")
     p.add_argument("--phase1-only", action="store_true",
                    help="run only phase 1 of the first round")
+    p.add_argument("--backend", default="vectorized",
+                   choices=["vectorized", "gpusim"],
+                   help="DecideAndMove backend (gpusim = simulated GPU "
+                        "with workload-aware kernel dispatch)")
+    p.add_argument("--gpusim-engine", default=None,
+                   choices=["scalar", "batched"],
+                   help="execution engine for --backend=gpusim "
+                        "(default: batched, or REPRO_GPUSIM_ENGINE)")
+    p.add_argument("--sanitize", nargs="?", const="fast", default=None,
+                   choices=["fast", "strict"],
+                   help="run under the GALA-San sanitizers (fast: "
+                        "racecheck/memcheck/synccheck + CSR audit; "
+                        "strict: adds weight-conservation and Lemma-5 "
+                        "audits); exits with code 3 when findings are "
+                        "recorded. See docs/sanitizers.md")
+    p.add_argument("--sanitize-report", default=None, metavar="PATH",
+                   help="write the sanitizer findings report (JSON) here "
+                        "(implies --sanitize fast when --sanitize is "
+                        "not given)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", default=None,
                    help="write 'vertex community' lines here")
@@ -109,19 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    from repro import obs
+    from repro import analysis, obs
 
     graph = load_edge_list(args.graph, weighted=args.weighted)
     print(f"loaded {graph.name}: n={graph.n} m={graph.num_edges}")
 
+    sanitize = args.sanitize
+    if sanitize is None and args.sanitize_report:
+        sanitize = "fast"
     observed = bool(args.trace or args.metrics or args.manifest)
     sess_cm = (
         obs.session(trace=args.trace, metrics=args.metrics)
         if observed
         else contextlib.nullcontext()
     )
+    san_cm = analysis.sanitized(sanitize) if sanitize else contextlib.nullcontext()
     start = time.perf_counter()
-    with sess_cm as sess:
+    with sess_cm as sess, san_cm as san:
         if args.algorithm == "leiden":
             result = leiden(
                 graph, resolution=args.resolution, theta=args.theta,
@@ -134,9 +157,23 @@ def cmd_detect(args: argparse.Namespace) -> int:
                 theta=args.theta,
                 seed=args.seed,
                 phase1_only=args.phase1_only,
+                backend=args.backend,
+                gpusim_engine=args.gpusim_engine,
             )
             result = gala(graph, cfg)
     elapsed = time.perf_counter() - start
+
+    san_exit = 0
+    if sanitize:
+        print(san.log.render())
+        if args.sanitize_report:
+            import json
+
+            with open(args.sanitize_report, "w") as fh:
+                json.dump(san.report(), fh, indent=2)
+            print(f"wrote sanitizer report to {args.sanitize_report}")
+        if not san.log.clean:
+            san_exit = 3
 
     if args.manifest:
         manifest = getattr(result, "manifest", None)
@@ -178,7 +215,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
             for v, c in enumerate(comm):
                 fh.write(f"{v} {c}\n")
         print(f"wrote assignment to {args.output}")
-    return 0
+    return san_exit
 
 
 def cmd_report(args: argparse.Namespace) -> int:

@@ -27,11 +27,12 @@ multi-GPU, and distributed runtimes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
 import numpy as np
 
+from repro import analysis
 from repro.core.pruning.base import IterationContext, PruningStrategy, make_strategy
 from repro.core.state import CommunityState
 from repro.obs import _session as obs
@@ -317,6 +318,26 @@ def run_engine(executor: Executor, config: EngineConfig | None = None) -> Engine
         theta=cfg.theta, patience=cfg.patience, initial_q=q, snapshot=state.copy()
     )
     oracle = OracleProbe(graph.n) if cfg.oracle else None
+    # Sanitizer hooks (repro.analysis). The CSR audit runs once per engine
+    # run — phase 2 re-enters the engine per level, so every coarsened
+    # graph is audited. Under --sanitize=strict with a strategy that
+    # *claims* zero false negatives, a dedicated probe re-derives the
+    # unpruned ground truth each iteration (Lemma 5 audit); like oracle
+    # mode this costs one full-set decide, but the committed moves are its
+    # exact restriction, so results stay bit-identical to an unsanitized
+    # run.
+    san = analysis.current()
+    if san is not None:
+        san.audit_graph(graph, source=f"engine:{type(executor).__name__}")
+    san_probe = None
+    if (
+        san is not None
+        and san.config.strict
+        and san.config.invariants
+        and oracle is None
+        and getattr(strategy, "zero_false_negatives", False)
+    ):
+        san_probe = OracleProbe(graph.n)
     history: list[IterationTrace] = []
     processed_vertices = 0
     processed_edges = 0
@@ -342,6 +363,8 @@ def run_engine(executor: Executor, config: EngineConfig | None = None) -> Engine
             ):
                 if oracle is not None:
                     next_comm = oracle.decide(executor, active)
+                elif san_probe is not None:
+                    next_comm = san_probe.decide(executor, active)
                 else:
                     next_comm = executor.decide(active_idx, active)
             moved = next_comm != state.comm
@@ -359,10 +382,25 @@ def run_engine(executor: Executor, config: EngineConfig | None = None) -> Engine
             )
             if oracle is not None:
                 oracle.annotate(trace, state.comm, active)
+            probe = oracle if oracle is not None else san_probe
+            if (
+                san is not None
+                and probe is not None
+                and probe._oracle_next is not None
+                and getattr(strategy, "zero_false_negatives", False)
+            ):
+                san.audit_pruning(
+                    active,
+                    probe._oracle_next != state.comm,
+                    iteration=it,
+                    strategy=strategy.name,
+                )
 
             prev_comm = state.comm
             with tr.span("engine/apply_sync", moved=trace.num_moved):
                 next_q = executor.apply_and_sync(next_comm, moved)
+            if san is not None:
+                san.audit_weights(state, iteration=it)
 
             trace.modularity = next_q
             trace.delta_q = next_q - q

@@ -11,10 +11,8 @@ simulated GPU with workload-aware kernel dispatch (Section 4) so the memory
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
-
-import numpy as np
 
 from repro.core.louvain import LouvainResult, louvain
 from repro.core.phase1 import Phase1Config, Phase1Result, run_phase1
@@ -66,6 +64,12 @@ class GalaConfig:
     #: "the first phase in the initial round dominates the overall
     #: computation")
     phase1_only: bool = False
+    #: sanitizer mode: ``None`` defers to the ``REPRO_SANITIZE``
+    #: environment variable, ``"off"``/``False`` disables, ``"fast"``
+    #: enables racecheck/memcheck/synccheck + the CSR audit, ``"strict"``
+    #: adds the per-iteration weight-conservation and Lemma-5 audits
+    #: (see :mod:`repro.analysis` and docs/sanitizers.md)
+    sanitize: Union[str, bool, None] = None
 
     def phase1_config(self) -> Phase1Config:
         kernel: Union[str, object] = self.kernel
@@ -108,6 +112,22 @@ def gala(
     8
     """
     cfg = config or GalaConfig()
+    from repro import analysis
+
+    # Sanitizer activation: config wins, then REPRO_SANITIZE. An already
+    # active session (a caller's ``analysis.sanitized(...)`` block) is
+    # reused so its log accumulates across runs.
+    san = analysis.current()
+    mode = analysis.resolve_sanitize(cfg.sanitize)
+    if mode is not None and san is None:
+        with analysis.sanitized(mode) as own:
+            return _run_gala(graph, cfg, own)
+    return _run_gala(graph, cfg, san)
+
+
+def _run_gala(
+    graph: CSRGraph, cfg: GalaConfig, san
+) -> Union[LouvainResult, Phase1Result]:
     p1cfg = cfg.phase1_config()
     if cfg.phase1_only:
         result = run_phase1(graph, p1cfg)
@@ -121,8 +141,9 @@ def gala(
 
     # Every GALA result carries a run manifest: config, seed, graph
     # fingerprint, environment, per-level breakdown — plus the metrics
-    # summary when an observability session is active. `repro report`
-    # renders and diffs these.
+    # summary when an observability session is active and the sanitizer
+    # report when the run was sanitized. `repro report` renders and
+    # diffs these.
     from repro import obs
 
     sess = obs.current()
@@ -132,5 +153,6 @@ def gala(
         config=cfg,
         metrics=sess.summary() if sess is not None else None,
         runtime="gala",
+        sanitizer=san.report() if san is not None else None,
     )
     return result

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import analysis
 from repro.core.kernels.vectorized import (
     DecideResult,
     _apply_guards,
@@ -103,6 +104,26 @@ class HashKernel:
             self._global_buckets_for(degree),
         )
 
+    def _block_sync(self, san) -> None:
+        """Simulated ``__syncthreads()`` between the accumulate phase and
+        the gain-evaluation reads.
+
+        Closes the racecheck epoch (the accumulate phase's atomics become
+        ordered before the reads) and checks full-block barrier
+        participation. This is the seam the mutation tests no-op to prove
+        a skipped barrier is flagged: without the epoch flush, the gain
+        phase's plain reads land in the same epoch as the atomic writes —
+        a read-write hazard.
+        """
+        if san is None:
+            return
+        if san.config.racecheck:
+            san.race.barrier(kernel=self.name)
+        if san.config.synccheck:
+            san.sync.barrier(
+                np.ones(self.block_size, dtype=bool), kernel=self.name
+            )
+
     def decide_vertex(
         self, state: CommunityState, v: int, remove_self: bool
     ) -> tuple[int, float, float]:
@@ -163,16 +184,24 @@ class HashKernel:
                         )
                         prof.count("bank_conflict_steps")
             before = table.num_entries
-            for c, wgt in zip(comms[chunk], ws[chunk]):
+            for j, (c, wgt) in enumerate(zip(comms[chunk], ws[chunk])):
+                table.san_lane = j  # lane-in-block for sanitizer findings
                 table.accumulate(int(c), float(wgt))
             # D_V(C) loaded once per fresh insert (line 9)
             fresh = table.num_entries - before
             if fresh:
                 prof.charge("decide_load", cost.access(MemoryKind.GLOBAL, fresh))
 
+        # __syncthreads(): the accumulate atomics must be ordered before
+        # the gain-evaluation reads of the table memory.
+        san = analysis.current()
+        self._block_sync(san)
+
         # Gain evaluation over the table entries (lines 11-14): one value
         # read per entry from wherever it resides.
         keys, sums = table.items()
+        if san is not None and san.config.racecheck:
+            san.race.end_launch(kernel=self.name)
         prof.charge(
             "decide_alu", cost.alu(len(keys) * 4)
         )
@@ -279,13 +308,25 @@ class HashKernel:
         # Find-or-insert the whole neighbourhood stream (Algorithm 3
         # lines 6-10); the batched tables replay each vertex's sequential
         # protocol and charge identical probe/atomic totals.
-        runs = tables.accumulate_stream(row_of, comms, ws)
+        san = analysis.current()
+        runs = tables.accumulate_stream(
+            row_of, comms, ws,
+            lanes=(pos % bs) if san is not None else None,
+        )
         # D_V(C) loaded once per fresh insert (line 9); the tables start
         # empty, so every distinct (vertex, community) run is one insert.
         if len(runs):
             prof.charge(
                 "decide_load", cost.access(MemoryKind.GLOBAL, len(runs))
             )
+
+        # __syncthreads() before the gain-phase reads (same seam as the
+        # scalar engine — the mutation tests no-op it on both).
+        self._block_sync(san)
+        if san is not None:
+            tables.san_read_entries(san)
+            if san.config.racecheck:
+                san.race.end_launch(kernel=self.name)
 
         # Gain evaluation (lines 11-14) over per-table entry runs.
         prof.charge("decide_alu", cost.alu(len(runs) * 4))

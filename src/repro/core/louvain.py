@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.phase1 import Phase1Config, Phase1Result, run_phase1
-from repro.graph.coarsen import coarsen_graph, project_communities
+from repro.graph.coarsen import coarsen_graph
 from repro.graph.csr import CSRGraph
 from repro.obs import _session as obs
 

@@ -55,6 +55,11 @@ class PruningStrategy(ABC):
     #: short name used in configs, reports and plots
     name: str = "base"
 
+    #: strategies that *prove* pruned vertices cannot move (Theorem 6)
+    #: declare this True; the sanitizer's Lemma-5 audit only applies to
+    #: them — heuristic strategies have false negatives by design
+    zero_false_negatives: bool = False
+
     def reset(self, state: CommunityState) -> None:
         """Called once before iteration 0 (strategies may keep history)."""
 

@@ -41,6 +41,10 @@ class ModularityGainPruning(PruningStrategy):
 
     name = "mg"
 
+    #: Theorem 6 guarantee — the property the sanitizer's Lemma-5 audit
+    #: verifies empirically under ``--sanitize=strict``
+    zero_false_negatives = True
+
     def __init__(self, slack: float = 1e-12, bound: str = "global") -> None:
         #: conservative margin: the bound must clear ``slack * 2|E|`` before
         #: we prune, so floating-point noise can only create false

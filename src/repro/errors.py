@@ -22,7 +22,14 @@ class GraphValidationError(ReproError):
 
     Examples: non-symmetric adjacency for an undirected graph, negative
     edge weights, out-of-range vertex ids, or a non-monotone ``indptr``.
+    When the violation was detected by the :mod:`repro.analysis` CSR
+    audit, ``findings`` carries the structured finding records.
     """
+
+    def __init__(self, message: str, findings: list | None = None):
+        super().__init__(message)
+        #: structured CSR-audit findings behind this error (may be empty)
+        self.findings = list(findings or [])
 
 
 class GeneratorParameterError(ReproError):
@@ -48,6 +55,43 @@ class DeviceError(ReproError):
 
 class HashTableFullError(DeviceError):
     """Raised when a simulated hashtable cannot place a key in any bucket."""
+
+
+class SanitizerError(ReproError):
+    """Base class for errors raised by the :mod:`repro.analysis` sanitizers.
+
+    Raised only when a sanitizer runs with ``on_finding="raise"`` (or a
+    loader-level audit fails fast); the default behaviour is to *record*
+    findings so a sanitized run completes and reports. Instances carry the
+    structured :class:`~repro.analysis.findings.Finding` records that
+    triggered them on ``findings``.
+    """
+
+    def __init__(self, message: str, findings: list | None = None):
+        super().__init__(message)
+        #: the structured finding records behind this error (may be empty)
+        self.findings = list(findings or [])
+
+
+class RaceHazardError(SanitizerError):
+    """Racecheck: two lanes touched one address in one epoch unsynchronised."""
+
+
+class MemcheckError(SanitizerError):
+    """Memcheck: out-of-bounds access, uninitialised read, or overflow."""
+
+
+class SynccheckError(SanitizerError):
+    """Synccheck: barrier divergence or warp-primitive mask mismatch."""
+
+
+class InvariantViolationError(SanitizerError):
+    """Invariant auditor: an algorithm-level invariant does not hold.
+
+    Examples: community-weight arrays diverging from a from-scratch
+    recomputation after a delta update, or an MG-pruned vertex that the
+    oracle proves had a positive-gain move (a Lemma 5 violation).
+    """
 
 
 class PartitionError(ReproError):

@@ -5,20 +5,57 @@ The hash-based kernel uses ``atomicCAS`` to claim hashtable buckets and
 the same address in the same step, the hardware serialises them — the cost
 of the step is the longest chain. The helpers here perform the update
 functionally (NumPy scatter) and charge the cost model accordingly.
+
+:func:`plain_store` / :func:`plain_load` are the *non-atomic* counterparts:
+same lane-vector call shape, ordinary load/store costing, and — crucially —
+``write``/``read`` (not ``atomic``) events to the sanitizer's racecheck, so
+a kernel that reaches for them where an atomic is required trips the
+write-write / read-write hazard detectors (see :mod:`repro.analysis`).
+
+All four helpers are sanitizer-aware: when a :mod:`repro.analysis` session
+is active they bounds-check the address vector (faulting lanes are
+reported and skipped, cuda-memcheck style) and record one access event per
+lane; when no session is active the extra cost is one module-global read.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import analysis
 from repro.gpusim.costmodel import MemoryKind
 from repro.gpusim.device import Device
+
+#: racecheck/memcheck region tag for these free-standing helpers
+_REGION = "atomics"
 
 
 def _max_conflict(addresses: np.ndarray) -> int:
     if len(addresses) == 0:
         return 0
     return int(np.bincount(addresses).max())
+
+
+def _sanitize_access(
+    san,
+    array: np.ndarray,
+    addresses: np.ndarray,
+    mode: str,
+    space: MemoryKind,
+) -> np.ndarray:
+    """Report OOB lanes + record race events; return the in-bounds mask."""
+    region = (_REGION, space.value)
+    lanes = np.arange(len(addresses), dtype=np.int64)
+    ok = np.ones(len(addresses), dtype=bool)
+    if san.config.memcheck:
+        ok = san.mem.check_bounds(
+            region, addresses, len(array), kernel=_REGION, lanes=lanes
+        )
+    if san.config.racecheck and bool(ok.any()):
+        san.race.access(
+            region, addresses[ok], lanes[ok], mode, kernel=_REGION
+        )
+    return ok
 
 
 def atomic_add(
@@ -38,6 +75,12 @@ def atomic_add(
     values = np.asarray(values, dtype=np.float64)
     if len(addresses) == 0:
         return
+    san = analysis.current()
+    if san is not None:
+        ok = _sanitize_access(san, array, addresses, "atomic", space)
+        addresses, values = addresses[ok], values[ok]
+        if len(addresses) == 0:
+            return
     np.add.at(array, addresses, values)
     conflict = _max_conflict(addresses)
     device.profiler.charge(
@@ -64,19 +107,89 @@ def atomic_cas_claim(
     was already owned.
 
     Lanes are resolved in lane order, which is a legal serialisation of the
-    hardware's arbitrary one.
+    hardware's arbitrary one. Faulting lanes (out-of-bounds addresses under
+    an active sanitizer) observe ``empty`` and claim nothing.
     """
     addresses = np.asarray(addresses, dtype=np.int64)
     keys = np.asarray(keys, dtype=np.int64)
-    observed = np.empty(len(addresses), dtype=np.int64)
+    observed = np.full(len(addresses), empty, dtype=np.int64)
+    san = analysis.current()
+    valid = None
+    if san is not None and len(addresses):
+        valid = _sanitize_access(san, slots, addresses, "atomic", space)
     for lane, (addr, key) in enumerate(zip(addresses, keys)):
+        if valid is not None and not valid[lane]:
+            continue
         observed[lane] = slots[addr]
         if slots[addr] == empty:
             slots[addr] = key
     if len(addresses):
-        conflict = _max_conflict(addresses)
+        conflict = _max_conflict(addresses if valid is None else addresses[valid])
         device.profiler.charge(
             bucket, device.config.cost.atomic(space, n=1, max_conflict=conflict)
         )
         device.profiler.count(f"{space.value}_atomics", len(addresses))
     return observed
+
+
+def plain_store(
+    device: Device,
+    array: np.ndarray,
+    addresses: np.ndarray,
+    values: np.ndarray,
+    space: MemoryKind,
+    bucket: str = "stores",
+) -> None:
+    """Non-atomic scatter ``array[addresses] = values`` for one step.
+
+    Lanes resolve in lane order (last writer wins on duplicates — exactly
+    the nondeterminism the racecheck exists to flag: concurrent plain
+    writes to one address are a ``write-write`` hazard).
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    values = np.asarray(values)
+    if len(addresses) == 0:
+        return
+    san = analysis.current()
+    if san is not None:
+        ok = _sanitize_access(san, array, addresses, "write", space)
+        addresses, values = addresses[ok], values[ok]
+        if len(addresses) == 0:
+            return
+    array[addresses] = values
+    device.profiler.charge(
+        bucket, device.config.cost.access(space, n=len(addresses))
+    )
+    device.profiler.count(f"{space.value}_stores", len(addresses))
+
+
+def plain_load(
+    device: Device,
+    array: np.ndarray,
+    addresses: np.ndarray,
+    space: MemoryKind,
+    bucket: str = "loads",
+) -> np.ndarray:
+    """Non-atomic gather ``array[addresses]`` for one step.
+
+    Reads record ``read`` events: overlapping a write by another lane in
+    the same epoch is a ``read-write`` hazard. Faulting lanes (under an
+    active sanitizer) read 0.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if len(addresses) == 0:
+        return np.empty(0, dtype=array.dtype)
+    out = np.zeros(len(addresses), dtype=array.dtype)
+    san = analysis.current()
+    ok = None
+    if san is not None:
+        ok = _sanitize_access(san, array, addresses, "read", space)
+    if ok is None:
+        out[:] = array[addresses]
+    elif bool(ok.any()):
+        out[ok] = array[addresses[ok]]
+    device.profiler.charge(
+        bucket, device.config.cost.access(space, n=len(addresses))
+    )
+    device.profiler.count(f"{space.value}_loads", len(addresses))
+    return out

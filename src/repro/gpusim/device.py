@@ -34,6 +34,30 @@ class DeviceConfig:
     interconnect_latency: float = 5e-6
     cost: CostModel = field(default_factory=CostModel)
 
+    def __post_init__(self) -> None:
+        for name in (
+            "num_sms",
+            "warp_size",
+            "max_threads_per_block",
+            "shared_mem_per_block",
+            "bucket_bytes",
+            "clock_hz",
+            "interconnect_bandwidth",
+        ):
+            value = getattr(self, name)
+            if not value > 0:
+                raise DeviceError(f"{name} must be positive, got {value!r}")
+        if not self.interconnect_latency >= 0:
+            raise DeviceError(
+                f"interconnect_latency must be non-negative, "
+                f"got {self.interconnect_latency!r}"
+            )
+        if self.max_threads_per_block < self.warp_size:
+            raise DeviceError(
+                f"max_threads_per_block ({self.max_threads_per_block}) must "
+                f"hold at least one warp ({self.warp_size})"
+            )
+
     def max_shared_buckets(self) -> int:
         """How many hashtable buckets fit in one block's shared memory."""
         return self.shared_mem_per_block // self.bucket_bytes

@@ -15,16 +15,22 @@ the kernel layer, which knows which accesses share a warp step.
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from typing import Iterator
 
 import numpy as np
 
+from repro import analysis
 from repro.errors import HashTableFullError
 from repro.gpusim.costmodel import MemoryKind
 from repro.gpusim.device import Device
 
 _EMPTY = -1
+#: distinguishes concurrent tables' racecheck/memcheck regions — every
+#: simulated block owns a private table, so slot 3 of two different
+#: tables must never alias in the happens-before model
+_table_serial = itertools.count()
 # Knuth multiplicative constants for the two hash functions.
 _MULT0 = 2654435761
 _MULT1 = 2246822519
@@ -76,6 +82,17 @@ class SimHashTable(ABC):
         self.maintained_global = 0
         self.accesses_shared = 0
         self.accesses_global = 0
+        #: the lane (thread-in-block) performing the next access; the
+        #: kernel layer sets this per key so sanitizer findings carry the
+        #: offending lane id
+        self.san_lane = 0
+        self._san_tag = f"table{next(_table_serial)}"
+        self._san_reset_shadow(analysis.current())
+
+    def _san_reset_shadow(self, san) -> None:
+        if san is not None and san.config.memcheck:
+            san.mem.reset_shadow((self._san_tag, "shared"), self.s)
+            san.mem.reset_shadow((self._san_tag, "global"), self.g)
 
     # ------------------------------------------------------------------ #
     @abstractmethod
@@ -104,10 +121,27 @@ class SimHashTable(ABC):
 
         Mirrors Algorithm 3 lines 6-10: probe (atomicCAS to claim an empty
         bucket), then atomicAdd the weight.
+
+        Under an active sanitizer every probe is an atomic racecheck event
+        (the probe *is* the atomicCAS on hardware) tagged with the lane
+        the kernel stored in ``san_lane``; out-of-bounds probe candidates
+        are reported and skipped (cuda-memcheck style) so execution
+        continues to collect further findings.
         """
         key = int(key)
+        san = analysis.current()
         for space, slot in self.probe_sequence(key):
             keys, vals = self._arrays(space)
+            if san is not None:
+                region = (self._san_tag, space.value)
+                if san.config.memcheck and not san.mem.check_bounds(
+                    region, slot, len(keys), kernel="hash", lanes=self.san_lane
+                ):
+                    continue
+                if san.config.racecheck:
+                    san.race.access(
+                        region, slot, self.san_lane, "atomic", kernel="hash"
+                    )
             self._charge_probe(space)
             if keys[slot] == _EMPTY:
                 keys[slot] = key  # atomicCAS claim
@@ -116,6 +150,19 @@ class SimHashTable(ABC):
                     self.maintained_shared += 1
                 else:
                     self.maintained_global += 1
+                if san is not None and san.config.memcheck:
+                    san.mem.mark_init((self._san_tag, space.value), slot)
+                    if (
+                        space is MemoryKind.GLOBAL
+                        and self.s > 0
+                        and self.maintained_shared >= self.s
+                    ):
+                        san.mem.check_capacity(
+                            (self._san_tag, "shared"),
+                            self.maintained_shared,
+                            self.s,
+                            kernel="hash",
+                        )
             if keys[slot] == key:
                 vals[slot] += weight  # atomicAdd
                 self._charge_atomic(space)
@@ -145,11 +192,48 @@ class SimHashTable(ABC):
         return None
 
     def items(self) -> tuple[np.ndarray, np.ndarray]:
-        """All (community, weight) entries, shared first."""
-        ks = self.shared_keys[self.shared_keys != _EMPTY]
-        vs = self.shared_vals[self.shared_keys != _EMPTY]
-        kg = self.global_keys[self.global_keys != _EMPTY]
-        vg = self.global_vals[self.global_keys != _EMPTY]
+        """All (community, weight) entries, shared first.
+
+        This is the gain-evaluation read phase: under an active sanitizer
+        each occupied slot records a *plain* read event (one reading lane
+        per entry, as in the reduction kernel) and is checked against the
+        shadow-init bitmap — a slot populated without going through the
+        claim protocol reads as uninitialised.
+        """
+        occ_s = self.shared_keys != _EMPTY
+        occ_g = self.global_keys != _EMPTY
+        san = analysis.current()
+        if san is not None:
+            slots_s = np.flatnonzero(occ_s)
+            slots_g = np.flatnonzero(occ_g)
+            if san.config.memcheck:
+                san.mem.check_init(
+                    (self._san_tag, "shared"), slots_s, kernel="hash"
+                )
+                san.mem.check_init(
+                    (self._san_tag, "global"), slots_g, kernel="hash"
+                )
+            if san.config.racecheck:
+                if len(slots_s):
+                    san.race.access(
+                        (self._san_tag, "shared"),
+                        slots_s,
+                        np.arange(len(slots_s)),
+                        "read",
+                        kernel="hash",
+                    )
+                if len(slots_g):
+                    san.race.access(
+                        (self._san_tag, "global"),
+                        slots_g,
+                        len(slots_s) + np.arange(len(slots_g)),
+                        "read",
+                        kernel="hash",
+                    )
+        ks = self.shared_keys[occ_s]
+        vs = self.shared_vals[occ_s]
+        kg = self.global_keys[occ_g]
+        vg = self.global_vals[occ_g]
         return np.concatenate([ks, kg]), np.concatenate([vs, vg])
 
     @property
@@ -174,3 +258,4 @@ class SimHashTable(ABC):
         self.global_vals.fill(0.0)
         self.maintained_shared = self.maintained_global = 0
         self.accesses_shared = self.accesses_global = 0
+        self._san_reset_shadow(analysis.current())

@@ -37,10 +37,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import analysis
 from repro.errors import HashTableFullError
 from repro.gpusim.costmodel import MemoryKind
 from repro.gpusim.device import Device
-from repro.gpusim.hashtable.base import _EMPTY, hash0_vec, hash1_vec
+from repro.gpusim.hashtable.base import (
+    _EMPTY,
+    _table_serial,
+    hash0_vec,
+    hash1_vec,
+)
 
 _INT64_MAX = np.iinfo(np.int64).max
 
@@ -134,6 +140,31 @@ class BatchedTables:
         self.maintained_global = np.zeros(n_tables, dtype=np.int64)
         self.accesses_shared = np.zeros(n_tables, dtype=np.int64)
         self.accesses_global = np.zeros(n_tables, dtype=np.int64)
+        # Sanitizer wiring: the N tables share two flat regions (one per
+        # space) with addresses encoded as ``table * buckets + slot`` so
+        # distinct tables never alias in the happens-before model; the
+        # per-run resolution of the last accumulate_stream is kept so the
+        # kernel can replay the gain-phase reads after its block barrier.
+        self._san_tag = f"btables{next(_table_serial)}"
+        self._last_resolution: tuple | None = None
+        self._san_reset_shadow(analysis.current())
+
+    def _san_reset_shadow(self, san) -> None:
+        if san is not None and san.config.memcheck:
+            san.mem.reset_shadow(
+                (self._san_tag, "shared"), self.n_tables * self.s
+            )
+            san.mem.reset_shadow(
+                (self._san_tag, "global"), self.n_tables * self.g
+            )
+
+    def _san_flat_addr(
+        self, tables: np.ndarray, is_shared: np.ndarray, slots: np.ndarray
+    ) -> np.ndarray:
+        """Region-flat addresses: ``table * buckets(space) + slot``."""
+        return np.where(
+            is_shared, tables * self.s + slots, tables * self.g + slots
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -197,7 +228,11 @@ class BatchedTables:
 
     # ------------------------------------------------------------------ #
     def accumulate_stream(
-        self, table_of: np.ndarray, keys: np.ndarray, weights: np.ndarray
+        self,
+        table_of: np.ndarray,
+        keys: np.ndarray,
+        weights: np.ndarray,
+        lanes: np.ndarray | None = None,
     ) -> StreamRuns:
         """Find-or-insert a ``(table, key, weight)`` stream, in stream order.
 
@@ -209,6 +244,11 @@ class BatchedTables:
         bit-equal to the scalar's one-at-a-time accumulation. (A bucket
         that already held weight from a *previous* call receives this
         stream's pre-summed total in one addition instead.)
+
+        ``lanes`` optionally supplies the simulated lane (thread-in-block)
+        id of every stream element; it is used only to tag sanitizer
+        racecheck events (defaults to the stream position) and does not
+        affect execution or accounting.
         """
         table_of = np.asarray(table_of, dtype=np.int64)
         keys = np.asarray(keys, dtype=np.int64)
@@ -261,9 +301,21 @@ class BatchedTables:
         probing = nxt[live]
         p = np.zeros(len(probing), dtype=np.int64)
         maxp = self.max_probes
+        san = analysis.current()
         while len(probing):
             ptab = run_table[probing]
             is_sh, slot = self.probe_slots(run_key[probing], p)
+            if san is not None and san.config.memcheck:
+                if bool(is_sh.any()):
+                    san.mem.check_bounds(
+                        (self._san_tag, "shared"), slot[is_sh], self.s,
+                        kernel="hash",
+                    )
+                if not bool(is_sh.all()):
+                    san.mem.check_bounds(
+                        (self._san_tag, "global"), slot[~is_sh], self.g,
+                        kernel="hash",
+                    )
             # run ids in the probe set are unique (one per table), so
             # buffered fancy-index increments are exact
             probes_sh[probing[is_sh]] += 1
@@ -342,6 +394,13 @@ class BatchedTables:
             run_table[~sh], weights=occ[~sh], minlength=self.n_tables
         ).astype(np.int64)
 
+        self._last_resolution = (run_table, res_shared, res_slot)
+        if san is not None:
+            self._san_after_stream(
+                san, table_of, lanes, order, run_of_sorted, ord2,
+                run_table, res_shared, res_slot, claimed,
+            )
+
         return StreamRuns(
             table=run_table,
             key=run_key,
@@ -351,6 +410,106 @@ class BatchedTables:
             probes_shared=probes_sh,
             probes_global=probes_gl,
         )
+
+    # ------------------------------------------------------------------ #
+    def _san_after_stream(
+        self,
+        san,
+        table_of: np.ndarray,
+        lanes: np.ndarray | None,
+        order: np.ndarray,
+        run_of_sorted: np.ndarray,
+        ord2: np.ndarray,
+        run_table: np.ndarray,
+        res_shared: np.ndarray,
+        res_slot: np.ndarray,
+        claimed: np.ndarray,
+    ) -> None:
+        """Post-resolution sanitizer events for one accumulate_stream.
+
+        Every stream occurrence replays its run's resolved bucket as one
+        atomic racecheck event (claim + add are both atomics); claimed
+        buckets are marked initialised; a table whose shared level filled
+        completely while it still spilled to global is a capacity
+        overflow.
+        """
+        n = len(table_of)
+        n_runs = len(run_table)
+        flat_addr = self._san_flat_addr(run_table, res_shared, res_slot)
+        if san.config.racecheck and n:
+            # map each stream element to its run (post-ord2 numbering)
+            new_of_old = np.empty(n_runs, dtype=np.int64)
+            new_of_old[ord2] = np.arange(n_runs, dtype=np.int64)
+            run_flat = np.empty(n, dtype=np.int64)
+            run_flat[order] = new_of_old[run_of_sorted]
+            lane_of = (
+                np.arange(n, dtype=np.int64)
+                if lanes is None
+                else np.asarray(lanes, dtype=np.int64)
+            )
+            e_sh = res_shared[run_flat]
+            for space, mask in (("shared", e_sh), ("global", ~e_sh)):
+                if bool(mask.any()):
+                    san.race.access(
+                        (self._san_tag, space),
+                        flat_addr[run_flat][mask],
+                        lane_of[mask],
+                        "atomic",
+                        kernel="hash",
+                    )
+        if san.config.memcheck:
+            for space, mask in (
+                ("shared", claimed & res_shared),
+                ("global", claimed & ~res_shared),
+            ):
+                if bool(mask.any()):
+                    san.mem.mark_init(
+                        (self._san_tag, space), flat_addr[mask]
+                    )
+            if self.s > 0:
+                overflow = np.flatnonzero(
+                    (self.maintained_shared >= self.s)
+                    & (self.maintained_global > 0)
+                )
+                for t in overflow[:8]:
+                    san.mem.check_capacity(
+                        (self._san_tag, "shared"),
+                        int(self.maintained_shared[t]),
+                        self.s,
+                        kernel="hash",
+                    )
+
+    def san_read_entries(self, san) -> None:
+        """Record the gain-phase entry reads for the sanitizer.
+
+        Called by the kernel *after* its block barrier: one plain read
+        event per resident entry (the reduction lane that evaluates it),
+        plus the shadow-init check — mirroring what
+        :meth:`SimHashTable.items` records on the scalar engine.
+        """
+        for space, keys_arr, buckets in (
+            ("shared", self.shared_keys, self.s),
+            ("global", self.global_keys, self.g),
+        ):
+            tv, ts = np.nonzero(keys_arr != _EMPTY)
+            if not len(tv):
+                continue
+            addr = tv * buckets + ts
+            if san.config.memcheck:
+                san.mem.check_init((self._san_tag, space), addr, kernel="hash")
+            if san.config.racecheck:
+                # entry index within its table = the reading lane
+                starts = np.flatnonzero(
+                    np.concatenate([[True], tv[1:] != tv[:-1]])
+                )
+                offsets = np.zeros(len(tv), dtype=np.int64)
+                offsets[starts] = np.arange(len(tv), dtype=np.int64)[starts]
+                lane = np.arange(len(tv), dtype=np.int64) - np.maximum.accumulate(
+                    offsets
+                )
+                san.race.access(
+                    (self._san_tag, space), addr, lane, "read", kernel="hash"
+                )
 
     # ------------------------------------------------------------------ #
     def lookup_many(
@@ -430,3 +589,5 @@ class BatchedTables:
         self.maintained_global.fill(0)
         self.accesses_shared.fill(0)
         self.accesses_global.fill(0)
+        self._last_resolution = None
+        self._san_reset_shadow(analysis.current())

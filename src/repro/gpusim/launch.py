@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import DeviceError
 from repro.gpusim.device import Device, DeviceConfig
 

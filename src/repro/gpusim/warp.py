@@ -32,8 +32,21 @@ from typing import Optional
 
 import numpy as np
 
+from repro import analysis
 from repro.errors import DeviceError
 from repro.gpusim.device import Device
+
+
+def _san_primitive(primitive: str, active: np.ndarray, masks=None) -> None:
+    """Synccheck hook: one call per simulated warp-primitive invocation.
+
+    Costs one module-global read when no sanitizer session is active.
+    Flags empty active masks and (given per-lane ``masks`` words) mask
+    bits naming inactive lanes — both are hangs on real hardware.
+    """
+    san = analysis.current()
+    if san is not None and san.config.synccheck:
+        san.sync.warp_primitive(primitive, active, masks=masks)
 
 
 def _validated_mask(active: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -83,6 +96,7 @@ class WarpContext:
         values = np.asarray(values)
         if len(values) != self.width:
             raise DeviceError("values must cover every lane")
+        _san_primitive("match_any_sync", self.active)
         self._charge()
         masks = np.zeros(self.width, dtype=np.int64)
         act = np.flatnonzero(self.active)
@@ -98,6 +112,7 @@ class WarpContext:
         """Per-lane sum of ``values`` over the lanes in that lane's mask."""
         values = np.asarray(values, dtype=np.float64)
         masks = np.asarray(masks, dtype=np.int64)
+        _san_primitive("reduce_add_sync", self.active, masks=masks)
         self._charge()
         out = np.zeros(self.width, dtype=np.float64)
         lanes = np.arange(self.width, dtype=np.int64)
@@ -108,6 +123,7 @@ class WarpContext:
     def reduce_max_sync(self, values: np.ndarray) -> float:
         """Warp-wide max over active lanes, broadcast to the caller."""
         values = np.asarray(values, dtype=np.float64)
+        _san_primitive("reduce_max_sync", self.active)
         self._charge()
         if not np.any(self.active):
             return -np.inf
@@ -117,12 +133,14 @@ class WarpContext:
         """Read lane ``src_lane``'s register (``__shfl_sync``)."""
         if not (0 <= src_lane < self.width):
             raise DeviceError(f"source lane {src_lane} out of range")
+        _san_primitive("shfl_idx_sync", self.active)
         self._charge()
         return float(np.asarray(values)[src_lane])
 
     def ballot_sync(self, predicate: np.ndarray) -> int:
         """Bitmask of active lanes whose predicate holds."""
         predicate = np.asarray(predicate, dtype=bool)
+        _san_primitive("ballot_sync", self.active)
         self._charge()
         bits = np.flatnonzero(predicate & self.active).astype(np.int64)
         return int((1 << bits).sum())
@@ -181,6 +199,7 @@ class WarpBatch:
     def match_any_sync(self, values: np.ndarray) -> np.ndarray:
         """Per-lane same-value bitmasks, one ``__match_any_sync`` per row."""
         values = self._check(values)
+        _san_primitive("match_any_sync", self.active)
         self._charge()
         # (n, i, j): lane j active and holding lane i's value, within row
         same = (
@@ -200,6 +219,7 @@ class WarpBatch:
         """
         values = np.asarray(self._check(values), dtype=np.float64)
         masks = np.asarray(self._check(masks), dtype=np.int64)
+        _san_primitive("reduce_add_sync", self.active, masks=masks)
         self._charge()
         lanes = np.arange(self.width, dtype=np.int64)
         member = (masks[:, :, None] >> lanes[None, None, :]) & 1
@@ -209,6 +229,7 @@ class WarpBatch:
     def reduce_max_sync(self, values: np.ndarray) -> np.ndarray:
         """Per-row max over active lanes (``-inf`` for all-inactive rows)."""
         values = np.asarray(self._check(values), dtype=np.float64)
+        _san_primitive("reduce_max_sync", self.active)
         self._charge()
         masked = np.where(self.active, values, -np.inf)
         return masked.max(axis=1)
@@ -221,6 +242,7 @@ class WarpBatch:
             raise DeviceError("src_lanes must give one source lane per warp")
         if np.any((src_lanes < 0) | (src_lanes >= self.width)):
             raise DeviceError("source lane out of range")
+        _san_primitive("shfl_idx_sync", self.active)
         self._charge()
         return np.asarray(
             values[np.arange(self.n_warps), src_lanes], dtype=np.float64
@@ -229,6 +251,7 @@ class WarpBatch:
     def ballot_sync(self, predicate: np.ndarray) -> np.ndarray:
         """Per-row bitmask of active lanes whose predicate holds."""
         predicate = np.asarray(self._check(predicate), dtype=bool)
+        _san_primitive("ballot_sync", self.active)
         self._charge()
         bits = (np.int64(1) << np.arange(self.width, dtype=np.int64))[None, :]
         return ((predicate & self.active) * bits).sum(axis=1)

@@ -10,8 +10,30 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import analysis
 from repro.errors import GraphValidationError
 from repro.graph.csr import CSRGraph
+
+
+def validate_graph(graph: CSRGraph, source: str | None = None) -> CSRGraph:
+    """Fail-fast CSR audit: raise on any structural finding.
+
+    Runs the :mod:`repro.analysis` CSR validator (indptr shape, index
+    range, sorted/duplicate-free rows, symmetry, weight parity with
+    ``2m``) and raises :class:`GraphValidationError` carrying the
+    structured finding records when anything is wrong. Loaders call this
+    on every graph read from disk; returns the graph so it can wrap a
+    construction expression.
+    """
+    findings = analysis.validate_csr(graph, source=source)
+    if findings:
+        detail = "\n".join(f"  - {f}" for f in findings[:10])
+        raise GraphValidationError(
+            f"{source or graph.name}: CSR validation failed with "
+            f"{len(findings)} finding(s):\n{detail}",
+            findings=findings,
+        )
+    return graph
 
 
 def symmetrize_edges(
@@ -134,4 +156,12 @@ def from_edge_array(
             raise GraphValidationError(
                 "already_symmetric=True but edge list is not symmetric"
             )
-    return build_csr(n, s, d, ww, self_w, name=name)
+    graph = build_csr(n, s, d, ww, self_w, name=name)
+    # Under an active sanitizer session every constructed graph gets the
+    # full CSR audit — the generators and phase-2 contraction all funnel
+    # through here, so a builder bug surfaces as a recorded finding even
+    # before the engine's own per-level audit runs.
+    san = analysis.current()
+    if san is not None:
+        san.audit_graph(graph, source=f"builder:{name}")
+    return graph

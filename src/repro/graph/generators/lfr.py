@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import GeneratorParameterError
 from repro.graph.builder import from_edge_array
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import as_generator
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ from typing import Union
 import numpy as np
 
 from repro.errors import GraphFormatError
-from repro.graph.builder import from_edge_array
+from repro.graph.builder import from_edge_array, validate_graph
 from repro.graph.csr import CSRGraph
 
 PathLike = Union[str, os.PathLike]
@@ -52,7 +52,10 @@ def load_edge_list(
     src = np.searchsorted(ids, src_raw)
     dst = np.searchsorted(ids, dst_raw)
     gname = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
-    return from_edge_array(len(ids), src, dst, w, name=gname)
+    return validate_graph(
+        from_edge_array(len(ids), src, dst, w, name=gname),
+        source=os.fspath(path),
+    )
 
 
 def save_edge_list(graph: CSRGraph, path: PathLike, header: bool = True) -> None:
@@ -91,7 +94,9 @@ def load_npz(path: PathLike) -> CSRGraph:
             )
     except (KeyError, OSError, ValueError) as exc:
         raise GraphFormatError(f"cannot load npz graph {path!r}: {exc}") from exc
-    return graph
+    # NPZ bypasses the edge-list builder entirely, so this is the only
+    # gate between an on-disk payload and the kernels — audit everything.
+    return validate_graph(graph, source=os.fspath(path))
 
 
 def load_metis(path: PathLike, name: str | None = None) -> CSRGraph:
@@ -140,9 +145,12 @@ def load_metis(path: PathLike, name: str | None = None) -> CSRGraph:
             ws.append(float(tokens[i + 1]) if weighted else 1.0)
     gname = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
     # METIS lists each undirected edge from both endpoints
-    return from_edge_array(
-        n, np.array(srcs, dtype=np.int64), np.array(dsts, dtype=np.int64),
-        np.array(ws) / 1.0, name=gname, already_symmetric=True,
+    return validate_graph(
+        from_edge_array(
+            n, np.array(srcs, dtype=np.int64), np.array(dsts, dtype=np.int64),
+            np.array(ws) / 1.0, name=gname, already_symmetric=True,
+        ),
+        source=os.fspath(path),
     )
 
 

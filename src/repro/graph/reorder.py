@@ -22,7 +22,6 @@ from collections import deque
 import numpy as np
 
 from repro.errors import GraphValidationError
-from repro.graph.builder import from_edge_array
 from repro.graph.csr import CSRGraph
 
 

@@ -101,6 +101,9 @@ class RunManifest:
     metrics: Dict[str, Any] = field(default_factory=dict)
     #: headline outcome: modularity, iterations, communities, cost totals
     result: Dict[str, Any] = field(default_factory=dict)
+    #: sanitizer report when the run was sanitized (mode, per-checker
+    #: counts, stored findings); empty dict otherwise
+    sanitizer: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -150,6 +153,7 @@ def build_manifest(
     metrics: Optional[Dict[str, Any]] = None,
     command: Optional[str] = None,
     runtime: str = "local",
+    sanitizer: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Build a manifest for any runtime's result.
 
@@ -166,6 +170,7 @@ def build_manifest(
         seed=seed if isinstance(seed, int) else None,
         graph=graph_fingerprint(graph),
         metrics=metrics or {},
+        sanitizer=sanitizer or {},
     )
 
     levels = getattr(result, "levels", None)
@@ -192,8 +197,8 @@ def build_manifest(
             int(len(np.unique(communities))) if communities is not None else None
         ),
         "num_levels": len(manifest.levels),
-        "iterations": int(sum(l["iterations"] for l in manifest.levels)),
-        "sim_cycles": float(sum(l["sim_cycles"] for l in manifest.levels)),
-        "comm_bytes": int(sum(l["comm_bytes"] for l in manifest.levels)),
+        "iterations": int(sum(row["iterations"] for row in manifest.levels)),
+        "sim_cycles": float(sum(row["sim_cycles"] for row in manifest.levels)),
+        "comm_bytes": int(sum(row["comm_bytes"] for row in manifest.levels)),
     }
     return manifest

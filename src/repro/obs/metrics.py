@@ -13,7 +13,7 @@ values, it never re-measures).
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Union
 
 Number = Union[int, float]
 

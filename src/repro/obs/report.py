@@ -96,6 +96,19 @@ def render_manifest(manifest: RunManifest) -> str:
     cycles = _cycle_rows(manifest)
     if cycles:
         lines += ["", format_table(cycles, title="simulated cycle buckets")]
+    san = manifest.sanitizer
+    if san:
+        counts = san.get("by_checker") or {}
+        breakdown = (
+            " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            if counts
+            else "clean"
+        )
+        lines += [
+            "",
+            f"sanitizer: mode={san.get('mode')} "
+            f"findings={san.get('total', 0)} ({breakdown})",
+        ]
     return "\n".join(lines)
 
 

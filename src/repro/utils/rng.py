@@ -9,7 +9,7 @@ and experiments are bit-reproducible across runs.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,0 +1,212 @@
+"""Unit tests of the three kernel-level checkers' hazard predicates."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FindingLog, MemChecker, RaceChecker, SyncChecker
+
+
+@pytest.fixture
+def log():
+    return FindingLog()
+
+
+@pytest.fixture
+def race(log):
+    return RaceChecker(log)
+
+
+@pytest.fixture
+def mem(log):
+    return MemChecker(log)
+
+
+@pytest.fixture
+def sync(log):
+    return SyncChecker(log)
+
+
+REGION = ("table0", "shared")
+
+
+class TestRaceCheckerPredicate:
+    def test_two_plain_writers_is_write_write(self, race, log):
+        race.access(REGION, 3, 0, "write", kernel="k")
+        race.access(REGION, 3, 1, "write")
+        found = race.barrier()
+        assert [f.kind for f in found] == ["write-write-hazard"]
+        f = found[0]
+        assert f.space == "shared" and f.address == 3
+        assert f.lanes == (0, 1)
+        assert log.total == 1
+
+    def test_plain_read_under_write_is_read_write(self, race):
+        race.access(REGION, 5, 0, "write")
+        race.access(REGION, 5, 1, "read")
+        found = race.barrier()
+        assert [f.kind for f in found] == ["read-write-hazard"]
+
+    def test_atomic_write_with_plain_read_is_read_write(self, race):
+        race.access(REGION, 5, 0, "atomic")
+        race.access(REGION, 5, 1, "read")
+        assert [f.kind for f in race.barrier()] == ["read-write-hazard"]
+
+    def test_atomic_atomic_is_safe(self, race):
+        race.access(REGION, 2, 0, "atomic")
+        race.access(REGION, 2, 1, "atomic")
+        assert race.barrier() == []
+
+    def test_read_read_is_safe(self, race):
+        race.access(REGION, 2, 0, "read")
+        race.access(REGION, 2, 1, "read")
+        assert race.barrier() == []
+
+    def test_same_lane_is_program_ordered(self, race):
+        race.access(REGION, 9, 4, "write")
+        race.access(REGION, 9, 4, "read")
+        race.access(REGION, 9, 4, "write")
+        assert race.barrier() == []
+
+    def test_barrier_closes_the_epoch(self, race):
+        race.access(REGION, 1, 0, "write")
+        assert race.barrier() == []  # single lane so far
+        # the same address written by another lane in a NEW epoch: no race
+        race.access(REGION, 1, 1, "write")
+        assert race.barrier() == []
+
+    def test_regions_do_not_alias(self, race):
+        # shared slot 3 of two different tables, and global slot 3,
+        # are distinct addresses in the happens-before model
+        race.access(("table0", "shared"), 3, 0, "write")
+        race.access(("table1", "shared"), 3, 1, "write")
+        race.access(("table0", "global"), 3, 2, "write")
+        assert race.barrier() == []
+
+    def test_vectorised_events_broadcast_lanes(self, race):
+        race.access(REGION, [4, 4, 6], [0, 1, 2], "write")
+        found = race.barrier()
+        assert len(found) == 1
+        assert found[0].address == 4
+
+    def test_end_launch_is_an_implicit_barrier(self, race, log):
+        race.access(REGION, 7, 0, "write", kernel="hash", launch=2)
+        race.access(REGION, 7, 1, "write")
+        found = race.end_launch()
+        assert len(found) == 1
+        # kernel/launch tags survive from the recorded events
+        assert found[0].kernel == "hash" and found[0].launch == 2
+
+
+class TestMemChecker:
+    def test_check_bounds_masks_and_reports(self, mem, log):
+        ok = mem.check_bounds(REGION, [0, 5, -1, 3], size=4, lanes=[0, 1, 2, 3])
+        assert ok.tolist() == [True, False, False, True]
+        assert log.total == 2
+        kinds = {f.kind for f in log}
+        assert kinds == {"oob-access"}
+        assert {f.address for f in log} == {5, -1}
+        assert {f.lanes for f in log} == {(1,), (2,)}
+        assert all(f.space == "shared" for f in log)
+
+    def test_check_bounds_scalar_path(self, mem, log):
+        assert bool(mem.check_bounds(REGION, 2, size=4)) is True
+        assert bool(mem.check_bounds(REGION, 9, size=4)) is False
+        assert log.total == 1
+
+    def test_flood_is_suppressed_but_counted(self, mem, log):
+        mem.check_bounds(REGION, np.arange(100) + 1000, size=4)
+        # 16 detailed findings + 1 suppression record
+        assert log.total == 17
+        assert "suppressed" in log.findings[-1].message
+
+    def test_uninitialised_read_lifecycle(self, mem, log):
+        mem.reset_shadow(REGION, 8)
+        mem.mark_init(REGION, [0, 3])
+        mem.check_init(REGION, [0, 3])  # clean reads
+        assert log.clean
+        mem.check_init(REGION, [3, 5])
+        assert log.total == 1
+        f = log.findings[0]
+        assert f.kind == "uninitialised-read" and f.address == 5
+
+    def test_reset_shadow_forgets_initialisation(self, mem, log):
+        mem.reset_shadow(REGION, 4)
+        mem.mark_init(REGION, 1)
+        mem.reset_shadow(REGION, 4)
+        mem.check_init(REGION, 1)
+        assert log.total == 1
+
+    def test_unknown_region_is_untracked(self, mem, log):
+        mem.check_init(("other", "global"), [0, 1])
+        assert log.clean
+
+    def test_capacity_overflow(self, mem, log):
+        mem.check_capacity(REGION, occupied=3, capacity=4)
+        assert log.clean
+        mem.check_capacity(REGION, occupied=4, capacity=4)
+        assert log.total == 1
+        assert log.findings[0].kind == "capacity-overflow"
+        mem.check_capacity(REGION, occupied=5, capacity=0)  # no shared level
+        assert log.total == 1
+
+
+class TestSyncChecker:
+    def test_full_barrier_is_clean(self, sync, log):
+        sync.barrier(np.ones(32, dtype=bool))
+        assert log.clean
+
+    def test_partial_barrier_is_divergence(self, sync, log):
+        active = np.ones(8, dtype=bool)
+        active[[2, 5]] = False
+        sync.barrier(active, kernel="hash", launch=1)
+        assert log.total == 1
+        f = log.findings[0]
+        assert f.kind == "barrier-divergence"
+        assert f.lanes == (2, 5)
+        assert f.details == {"present": 6, "expected": 8}
+
+    def test_block_size_override(self, sync, log):
+        # mask covers one warp of a 64-thread block: 32/64 arrived
+        sync.barrier(np.ones(32, dtype=bool), block_size=64)
+        assert log.findings[0].details == {"present": 32, "expected": 64}
+
+    def test_empty_active_mask_is_flagged(self, sync, log):
+        sync.warp_primitive("reduce_add_sync", np.zeros(32, dtype=bool))
+        assert log.total == 1
+        f = log.findings[0]
+        assert f.kind == "mask-mismatch"
+        assert "empty active mask" in f.message
+
+    def test_consistent_masks_are_clean(self, sync, log):
+        active = np.zeros(4, dtype=bool)
+        active[[0, 2]] = True
+        word = 0b0101
+        masks = np.array([word, 0, word, 0], dtype=np.uint32)
+        sync.warp_primitive("reduce_add_sync", active, masks=masks)
+        assert log.clean
+
+    def test_mask_naming_inactive_lane_is_flagged(self, sync, log):
+        active = np.zeros(4, dtype=bool)
+        active[[0, 2]] = True
+        masks = np.array([0b0111, 0, 0b0101, 0], dtype=np.uint32)
+        sync.warp_primitive("reduce_add_sync", active, masks=masks)
+        assert log.total == 1
+        f = log.findings[0]
+        assert f.kind == "mask-mismatch"
+        assert f.lanes == (0,)  # lane 0's mask named inactive lane 1
+        assert f.details["stray_bits"] == 0b0010
+
+    def test_inactive_lanes_masks_are_dead_values(self, sync, log):
+        active = np.zeros(4, dtype=bool)
+        active[0] = True
+        # lane 3 is inactive; whatever garbage its mask word holds is moot
+        masks = np.array([0b0001, 0, 0, 0b1111], dtype=np.uint32)
+        sync.warp_primitive("reduce_add_sync", active, masks=masks)
+        assert log.clean
+
+    def test_batched_shape_reports_the_faulty_warp(self, sync, log):
+        active = np.ones((3, 32), dtype=bool)
+        active[1] = False
+        sync.warp_primitive("ballot_sync", active)
+        assert log.total == 1
+        assert "warp 1" in log.findings[0].message
