@@ -26,6 +26,15 @@ def test_kernels_experiment(run_once, bench_scale):
         for backend in ["vectorized", "incremental", "bincount", "auto"]:
             assert (g, backend) in by_key
 
+    # when a compile provider passes its probe on this machine, the
+    # compiled backend joins the table (and went through the same
+    # bit-exactness check inside the experiment)
+    from repro.core.kernels.jit import get_runtime
+
+    if get_runtime() is not None:
+        for g in graphs:
+            assert (g, "jit") in by_key
+
     # The full paths re-aggregate everything; incremental never more.
     for g in graphs:
         full = by_key[(g, "vectorized")]

@@ -9,7 +9,11 @@ workload-aware kernel-selection idea to the host engine:
   active∧dirty rows (Section 3.5's delta principle applied to the
   aggregation itself);
 * ``bincount`` — sort-free dense-relabel aggregation;
-* ``auto`` — the per-iteration dispatcher over the three.
+* ``jit`` — the compiled per-vertex loop (numba extra or the bundled C
+  fallback) over the zero-allocation buffer arena; included only when a
+  compile provider passes its warm-up probe on this machine;
+* ``auto`` — the per-iteration dispatcher over the NumPy paths, which
+  prefers the compiled backend whenever the probe passed.
 
 For each workload it times an MG-pruned phase-1 run per backend, checks
 the bit-exactness contract on the fly, and reports the auto dispatcher's
@@ -36,6 +40,18 @@ GRAPHS = ["LJ", "OR"]
 BACKENDS = ["vectorized", "incremental", "bincount", "auto", "gpusim"]
 
 
+def _backends() -> list[str]:
+    """The backend list, with ``jit`` when a compile provider works."""
+    try:
+        from repro.core.kernels.jit import get_runtime
+
+        if get_runtime() is not None:
+            return BACKENDS[:-1] + ["jit", BACKENDS[-1]]
+    except Exception:  # pragma: no cover - defensive: probe must not break
+        pass
+    return list(BACKENDS)
+
+
 def _run_backend(graph, backend: str):
     kernel: str | object = backend
     if backend == "gpusim":
@@ -55,13 +71,24 @@ def run(scale: float | None = None) -> ExperimentOutput:
     series: dict[str, list[float]] = {}
     notes = []
     crossover_rows = []
+    backends = _backends()
+    if "jit" in backends:
+        # probed (and compiled) inside _backends(), so the one-off compile
+        # never lands in a timed row
+        from repro.core.kernels.jit import get_runtime
+
+        rt = get_runtime()
+        notes.append(
+            f"jit provider: {rt.provider} "
+            f"(one-off compile {rt.compile_s:.3f}s, excluded from rows)"
+        )
     for graph in load_suite(GRAPHS, scale=scale):
         per_backend = {}
-        for backend in BACKENDS:
+        for backend in backends:
             result, elapsed = _run_backend(graph, backend)
             per_backend[backend] = (result, elapsed)
         ref, ref_time = per_backend["vectorized"]
-        for backend in BACKENDS:
+        for backend in backends:
             result, elapsed = per_backend[backend]
             if not np.array_equal(result.communities, ref.communities):
                 raise AssertionError(

@@ -24,6 +24,7 @@ import time
 import numpy as np
 
 from repro import GalaConfig, gala, leiden
+from repro.errors import KernelUnavailableError
 from repro.graph.generators import lfr_graph, LFRParams, rmat_graph
 from repro.graph.io import load_edge_list, save_edge_list
 from repro.graph.stats import compute_stats
@@ -54,6 +55,12 @@ def _add_detect(sub: argparse._SubParsersAction) -> None:
                    choices=["vectorized", "gpusim"],
                    help="DecideAndMove backend (gpusim = simulated GPU "
                         "with workload-aware kernel dispatch)")
+    p.add_argument("--kernel", default=None,
+                   choices=["auto", "vectorized", "incremental",
+                            "bincount", "jit"],
+                   help="host kernel path for --backend=vectorized "
+                        "(default: auto, or REPRO_KERNEL; jit = compiled "
+                        "hot path via numba or the bundled C fallback)")
     p.add_argument("--gpusim-engine", default=None,
                    choices=["scalar", "batched"],
                    help="execution engine for --backend=gpusim "
@@ -128,10 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
+    import os
+
     from repro import analysis, obs
 
     graph = load_edge_list(args.graph, weighted=args.weighted)
     print(f"loaded {graph.name}: n={graph.n} m={graph.num_edges}")
+    kernel = args.kernel or os.environ.get("REPRO_KERNEL") or "auto"
 
     sanitize = args.sanitize
     if sanitize is None and args.sanitize_report:
@@ -159,8 +169,15 @@ def cmd_detect(args: argparse.Namespace) -> int:
                 phase1_only=args.phase1_only,
                 backend=args.backend,
                 gpusim_engine=args.gpusim_engine,
+                kernel=kernel,
             )
-            result = gala(graph, cfg)
+            try:
+                result = gala(graph, cfg)
+            except KernelUnavailableError as exc:
+                # explicit --kernel jit (or REPRO_KERNEL=jit) without a
+                # compile provider: a message, not a traceback
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
     elapsed = time.perf_counter() - start
 
     san_exit = 0

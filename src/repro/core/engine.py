@@ -144,6 +144,13 @@ class IterationTrace:
     #: ``active_edges`` for full backends, strictly less once the
     #: incremental cache has clean rows to reuse
     aggregated_edges: Optional[int] = None
+    #: one-off jit compile/warm-up seconds charged to this iteration
+    #: (nonzero only on the first iteration that used a compiled backend)
+    kernel_compile_s: float = 0.0
+    #: running buffer-arena allocation count after this iteration (None
+    #: when the executor has no arena); flat after iteration 2 — the
+    #: zero-steady-state-allocation invariant
+    arena_allocs: Optional[int] = None
     # number of inactive vertices, set by the engine
     num_inactive: int = 0
     #: dense/sparse synchronisation decision (multi-GPU runtime)

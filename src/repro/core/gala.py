@@ -36,10 +36,13 @@ class GalaConfig:
     #: ``"gpusim"`` (simulated GPU with workload-aware kernel dispatch)
     backend: str = "vectorized"
     #: host kernel for the vectorized backend: ``"auto"`` (workload-aware
-    #: dispatch over the full / incremental-cache / sort-free paths, the
-    #: default), or ``"vectorized"`` / ``"incremental"`` / ``"bincount"``
-    #: to pin one path. All choices are bit-identical; see
-    #: :mod:`repro.core.kernels.incremental`.
+    #: dispatch over the compiled / full / incremental-cache / sort-free
+    #: paths, the default — the compiled jit path is used automatically
+    #: once its warm-up probe passes), or ``"vectorized"`` /
+    #: ``"incremental"`` / ``"bincount"`` / ``"jit"`` to pin one path.
+    #: All choices are bit-identical; see
+    #: :mod:`repro.core.kernels.incremental` and
+    #: :mod:`repro.core.kernels.jit`.
     kernel: str = "auto"
     #: execution engine for the ``"gpusim"`` backend: ``"batched"``
     #: (structure-of-arrays, the default) or ``"scalar"`` (one vertex per

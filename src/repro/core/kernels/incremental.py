@@ -398,6 +398,7 @@ class AutoKernel(_KernelBase):
         full_threshold: float = 0.5,
         dense_dirty_frac: float = 0.9,
         dense_budget_factor: int = 64,
+        use_jit: bool = True,
     ):
         super().__init__()
         self.full_threshold = full_threshold
@@ -406,13 +407,41 @@ class AutoKernel(_KernelBase):
         self.vectorized = VectorizedKernel()
         self.bincount = BincountKernel()
         self.incremental = IncrementalKernel()
+        #: the compiled backend, once (and only once) its warm-up compile
+        #: probe succeeded — probed lazily in :meth:`reset`, never at
+        #: construction, so importing/instantiating never compiles
+        self.jit = None
+        #: one-off compile/warm-up seconds of the probed jit runtime
+        self.compile_s = 0.0
+        self._use_jit = use_jit
+        self._jit_probed = False
+        self._arena = None
         #: the rows the last BSP apply invalidated (None before the first
         #: move notification) — the cold-seed churn estimator reads this
         self._last_frontier: np.ndarray | None = None
 
+    def bind_arena(self, arena) -> None:
+        """Attach the executor's buffer arena (forwarded to the jit path)."""
+        self._arena = arena
+        if self.jit is not None:
+            self.jit.bind_arena(arena)
+
     def reset(self, state: CommunityState) -> None:
         self.incremental.reset(state)
         self._last_frontier = None
+        if self._use_jit and not self._jit_probed:
+            self._jit_probed = True
+            # Lazy import breaks the jit -> vectorized -> (this module)
+            # cycle; get_runtime() memoizes, so only the first AutoKernel
+            # in a process pays the compile probe.
+            from repro.core.kernels.jit import JitKernel, get_runtime
+
+            runtime = get_runtime()
+            if runtime is not None and runtime.provider != "python":
+                self.jit = JitKernel(runtime=runtime, arena=self._arena)
+                self.compile_s = runtime.compile_s
+        if self.jit is not None:
+            self.jit.reset(state)
 
     def notify_moves(
         self,
@@ -444,6 +473,12 @@ class AutoKernel(_KernelBase):
     ) -> _KernelBase:
         n = state.graph.n
         n_act = len(active_idx)
+        # A probe-verified compiled backend beats every NumPy path at any
+        # workload shape (its per-edge cost undercuts even the incremental
+        # cache's gather overhead), so it wins unconditionally — including
+        # the empty trivial sweep, which it short-circuits identically.
+        if self.jit is not None:
+            return self.jit
         if n_act == 0:
             return self.vectorized
         # Staleness signal: what fraction of the active rows would need
@@ -491,11 +526,23 @@ KERNELS = {
 
 
 def make_kernel(spec: str) -> _KernelBase:
-    """Instantiate a named host kernel backend."""
+    """Instantiate a named host kernel backend.
+
+    ``"jit"`` is resolved lazily (the compiled backend imports this
+    module); an explicit request raises
+    :class:`~repro.errors.KernelUnavailableError` when no compile
+    provider works here, while ``"auto"`` only *prefers* jit after its
+    warm-up probe succeeds and silently stays on the NumPy paths
+    otherwise.
+    """
+    if spec == "jit":
+        from repro.core.kernels.jit import JitKernel
+
+        return JitKernel()
     try:
         return KERNELS[spec]()
     except KeyError:
         raise ValueError(
             f"unknown kernel backend {spec!r}; expected one of "
-            f"{sorted(KERNELS)} or a callable"
+            f"{sorted([*KERNELS, 'jit'])} or a callable"
         ) from None

@@ -34,11 +34,18 @@ from repro.core.engine import (
     IterationTrace,
     run_engine,
 )
+from repro.core.arena import BufferArena
 from repro.core.kernels.incremental import make_kernel
 from repro.core.kernels.vectorized import DecideResult
 from repro.core.pruning.base import PruningStrategy
 from repro.core.state import CommunityState
-from repro.core.weights import make_weight_updater, movement_frontier
+from repro.core.weights import (
+    delta_update,
+    make_jit_delta_updater,
+    make_weight_updater,
+    movement_frontier,
+    refresh_aggregates,
+)
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike
 from repro.utils.timer import TimerRegistry
@@ -101,8 +108,11 @@ class Phase1Config:
     kernel:
         DecideAndMove backend: ``"vectorized"`` (full re-aggregation, the
         reference), ``"incremental"`` (persistent pair cache),
-        ``"bincount"`` (sort-free dense relabel), ``"auto"`` (workload-aware
-        dispatch between the three; see
+        ``"bincount"`` (sort-free dense relabel), ``"jit"`` (compiled
+        per-vertex loop via the optional numba extra or the bundled C
+        fallback; raises :class:`~repro.errors.KernelUnavailableError`
+        when neither compile provider works), ``"auto"`` (workload-aware
+        dispatch, preferring jit once its compile probe passes; see
         :mod:`repro.core.kernels.incremental`), or a callable. All named
         backends return bit-identical decisions.
     """
@@ -149,8 +159,15 @@ class LocalExecutor(Executor):
     ):
         self.config = config
         self.kernel = _resolve_kernel(config.kernel)
-        self.updater = make_weight_updater(config.weight_update)
         self.remove_self = config.remove_self
+        #: per-level scratch allocator; every iteration-shaped buffer the
+        #: hot loop needs (frontier flags, kernel scratch, DecideResult
+        #: storage, aggregate rebuilds) is served from here, so the
+        #: steady-state loop performs zero heap allocations
+        self.arena = BufferArena("engine")
+        kernel_bind_arena = getattr(self.kernel, "bind_arena", None)
+        if kernel_bind_arena is not None:
+            kernel_bind_arena(self.arena)
         if initial_communities is None:
             self.state = CommunityState.singletons(
                 graph, resolution=config.resolution
@@ -162,11 +179,49 @@ class LocalExecutor(Executor):
         kernel_reset = getattr(self.kernel, "reset", None)
         if kernel_reset is not None:
             kernel_reset(self.state)
+        # A jit-backed kernel (JitKernel directly, or AutoKernel after a
+        # successful probe) carries its compiled runtime; the executor then
+        # also routes the delta weight update and the aggregates refresh
+        # through the same runtime — all bit-identical to the NumPy paths.
+        runtime = getattr(self.kernel, "runtime", None)
+        if runtime is None:
+            runtime = getattr(getattr(self.kernel, "jit", None), "runtime", None)
+        if runtime is not None and runtime.provider == "python":
+            runtime = None  # interpreted provider: NumPy paths are faster
+        self._jit_runtime = runtime
+        #: one-off compile seconds to charge to the first iteration trace
+        self._compile_s_pending = float(getattr(self.kernel, "compile_s", 0.0))
+        self.updater = self._make_updater()
         self._notify = getattr(self.kernel, "notify_moves", None)
         #: simulated device behind a gpusim kernel, if any (per-iteration
         #: cycle deltas feed IterationTrace.sim_cycles)
         self._device = getattr(self.kernel, "device", None)
         self._cycles_seen = 0.0
+
+    def _make_updater(self):
+        """The weight updater, arena-backed where that saves allocations.
+
+        The registry lookup stays authoritative: the fast paths (compiled
+        delta, arena-backed frontier) only replace the *stock*
+        ``delta_update`` — a patched registry entry (the sanitizer
+        mutation tests) is used as-is.
+        """
+        base = make_weight_updater(self.config.weight_update)
+        if base is not delta_update:
+            return base
+        if self._jit_runtime is not None:
+            return make_jit_delta_updater(self._jit_runtime, self.arena)
+        arena = self.arena
+
+        def arena_delta(state, prev_comm, moved):
+            out = arena.zeros(
+                ("weights", "frontier", arena.generation & 1),
+                state.graph.n,
+                np.bool_,
+            )
+            return delta_update(state, prev_comm, moved, out=out)
+
+        return arena_delta
 
     def setup(self, timers: TimerRegistry) -> None:
         super().setup(timers)
@@ -180,22 +235,38 @@ class LocalExecutor(Executor):
 
     def apply_and_sync(self, next_comm: np.ndarray, moved: np.ndarray) -> float:
         state = self.state
+        # New iteration for the arena: buffers double-buffered on
+        # generation parity (the movement frontier) flip here, so the
+        # previous iteration's frontier stays valid through this sweep.
+        self.arena.tick()
         prev_comm = state.comm
         state.comm = next_comm
         with self.timers.measure("weight_update"):
             frontier = self.updater(state, prev_comm, moved)
         with self.timers.measure("aggregate"):
-            state.refresh_community_aggregates()
+            refresh_aggregates(state, arena=self.arena, runtime=self._jit_runtime)
             next_q = state.modularity()
         if self._notify is not None:
             if frontier is None:
-                frontier = movement_frontier(state.graph, moved)
+                frontier = movement_frontier(
+                    state.graph,
+                    moved,
+                    out=self.arena.zeros(
+                        ("weights", "frontier", self.arena.generation & 1),
+                        state.graph.n,
+                        np.bool_,
+                    ),
+                )
             self._notify(state, prev_comm, moved, frontier=frontier)
         return next_q
 
     def collect(self, trace: IterationTrace) -> None:
         trace.kernel_backend = getattr(self.kernel, "last_backend", None)
         trace.aggregated_edges = getattr(self.kernel, "last_aggregated_edges", None)
+        trace.arena_allocs = self.arena.allocs
+        if self._compile_s_pending:
+            trace.kernel_compile_s = self._compile_s_pending
+            self._compile_s_pending = 0.0
         if self._device is not None:
             total = self._device.profiler.total_cycles
             trace.sim_cycles = total - self._cycles_seen

@@ -37,15 +37,21 @@ from repro.graph.csr import CSRGraph
 from repro.utils.arrays import repeat_by_counts
 
 
-def movement_frontier(graph: CSRGraph, moved: np.ndarray) -> np.ndarray:
+def movement_frontier(
+    graph: CSRGraph, moved: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Boolean mask of vertices with at least one moved neighbour.
 
     A vertex's DecideAndMove pair table depends only on the communities of
     its neighbours, so this mask is exactly the set of rows invalidated by a
     BSP apply step. The adjacency is symmetric, so scanning the movers' rows
     enumerates every affected vertex.
+
+    ``out``, when given, is the flag array to fill (must be zeroed, length
+    ``graph.n``) — the engine passes an arena-backed buffer so no frontier
+    is heap-allocated in the steady state.
     """
-    frontier = np.zeros(graph.n, dtype=bool)
+    frontier = out if out is not None else np.zeros(graph.n, dtype=bool)
     movers = np.flatnonzero(moved)
     if len(movers) == 0:
         return frontier
@@ -64,7 +70,10 @@ def recompute_all(
 
 
 def delta_update(
-    state: CommunityState, prev_comm: np.ndarray, moved: np.ndarray
+    state: CommunityState,
+    prev_comm: np.ndarray,
+    moved: np.ndarray,
+    out: Optional[np.ndarray] = None,
 ) -> Optional[np.ndarray]:
     """Delta-update ``d_comm`` from the moved-vertex set.
 
@@ -72,9 +81,11 @@ def delta_update(
     ``prev_comm``/``moved`` describing what changed. Returns the movement
     frontier (see the module docstring), derived from the single gather of
     the movers' adjacency rows that both halves of the scheme share.
+    ``out`` is an optional pre-zeroed flag array for the frontier (see
+    :func:`movement_frontier`).
     """
     g = state.graph
-    frontier = np.zeros(g.n, dtype=bool)
+    frontier = out if out is not None else np.zeros(g.n, dtype=bool)
     movers = np.flatnonzero(moved)
     if len(movers) == 0:
         return frontier
@@ -108,6 +119,63 @@ def delta_update(
         delta = np.where(joined[rel], w[rel], -w[rel])
         np.add.at(state.d_comm, v[rel], delta)
     return frontier
+
+
+def make_jit_delta_updater(runtime, arena):
+    """A compiled drop-in for :func:`delta_update` (same signature/results).
+
+    ``runtime`` is a probed :class:`~repro.core.kernels.jit.JitRuntime`;
+    its fused mover-major pass applies both halves of the scheme in one
+    sweep over the movers' rows — bit-identical to the NumPy path because
+    moved and unmoved vertices receive contributions to *disjoint*
+    ``d_comm`` entries, each in the same mover-major adjacency order. The
+    frontier flag array comes from ``arena``, double-buffered on
+    generation parity because the auto dispatcher reads the previous
+    frontier during the *next* iteration's decide step.
+    """
+
+    def jit_delta(
+        state: CommunityState, prev_comm: np.ndarray, moved: np.ndarray
+    ) -> np.ndarray:
+        g = state.graph
+        frontier = arena.zeros(
+            ("weights", "frontier", arena.generation & 1), g.n, np.bool_
+        )
+        runtime.delta(
+            g.indptr,
+            g.indices,
+            g.weights,
+            state.comm,
+            np.ascontiguousarray(prev_comm, dtype=np.int64),
+            np.ascontiguousarray(moved, dtype=np.bool_),
+            state.d_comm,
+            frontier,
+        )
+        return frontier
+
+    return jit_delta
+
+
+def refresh_aggregates(state: CommunityState, arena=None, runtime=None) -> None:
+    """Rebuild ``comm_strength``/``comm_size`` after a BSP apply step.
+
+    The plain path allocates two fresh ``np.bincount`` outputs per
+    iteration; with an arena *and* a jit runtime the rebuild instead runs
+    the compiled sequential loop into pooled buffers (``np.bincount``
+    summation order, so bit-identical), making the refresh allocation-free
+    in the steady state. Without a runtime the NumPy path is kept as-is —
+    ``np.add.at`` into a reused buffer would be far slower than
+    ``np.bincount``.
+    """
+    if arena is not None and runtime is not None:
+        n = state.graph.n
+        comm_strength = arena.request(("weights", "comm_strength"), n, np.float64)
+        comm_size = arena.request(("weights", "comm_size"), n, np.int64)
+        runtime.aggregates(state.comm, state.graph.strength, comm_strength, comm_size)
+        state.comm_strength = comm_strength
+        state.comm_size = comm_size
+    else:
+        state.refresh_community_aggregates()
 
 
 WEIGHT_UPDATERS = {

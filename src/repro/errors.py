@@ -44,6 +44,18 @@ class ConvergenceError(ReproError):
     """Raised when an iterative procedure exceeds its iteration budget."""
 
 
+class KernelUnavailableError(ReproError):
+    """Raised when an explicitly requested kernel backend cannot run here.
+
+    The ``"jit"`` backend needs a compile provider (the optional ``numba``
+    extra, or a system C compiler for the bundled C fallback); when neither
+    is available, an *explicit* ``kernel="jit"`` request raises this error
+    with installation guidance, while the ``kernel="auto"`` dispatcher
+    silently keeps using the NumPy paths. The CLI renders the message
+    without a traceback.
+    """
+
+
 class DeviceError(ReproError):
     """Raised on invalid use of the simulated GPU device.
 

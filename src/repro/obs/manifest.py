@@ -124,14 +124,33 @@ class RunManifest:
 # builders
 # --------------------------------------------------------------------- #
 def _history_totals(history) -> Dict[str, Any]:
-    return {
+    totals = {
         "iterations": len(history),
         "moved": int(sum(t.num_moved for t in history)),
         "comm_bytes": int(sum(t.comm_bytes for t in history)),
         "comm_messages": int(sum(t.comm_messages for t in history)),
         "sim_cycles": float(sum(t.sim_cycles for t in history)),
         "active_edges": int(sum(t.active_edges for t in history)),
+        "kernel_compile_s": float(
+            sum(getattr(t, "kernel_compile_s", 0.0) for t in history)
+        ),
     }
+    backends: Dict[str, int] = {}
+    for t in history:
+        b = getattr(t, "kernel_backend", None)
+        if b is not None:
+            backends[b] = backends.get(b, 0) + 1
+    if backends:
+        totals["kernel_backends"] = backends
+    # arena_allocs is a running count: the last trace carries the total
+    arena = [
+        t.arena_allocs
+        for t in history
+        if getattr(t, "arena_allocs", None) is not None
+    ]
+    if arena:
+        totals["arena_allocs"] = int(arena[-1])
+    return totals
 
 
 def _level_row(index: int, graph, phase1) -> Dict[str, Any]:

@@ -1,0 +1,331 @@
+"""The compiled (``jit``) kernel backend: bit-exactness and fallback.
+
+The bit-exactness matrix (3 graphs x 3 gammas x 2 conventions, driven
+through the full BSP cache lifecycle) always runs against the
+*interpreted* provider — the same loop functions numba/cc compile — so
+the kernel semantics are pinned on every machine; when a compile
+provider actually works here (numba installed, or a system C compiler),
+the identical matrix runs against the compiled runtime too. The
+fallback tests stub out providers to prove the friendly degradation
+paths: auto silently stays on NumPy, an explicit ``kernel="jit"``
+raises :class:`~repro.errors.KernelUnavailableError` (no traceback at
+the CLI), and a missing numba never breaks the import.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import jit as jitmod
+from repro.core.kernels.incremental import AutoKernel, make_kernel
+from repro.core.kernels.jit import (
+    JitKernel,
+    get_runtime,
+    require_runtime,
+)
+from repro.core.kernels.vectorized import decide_moves
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.core.state import CommunityState
+from repro.core.weights import (
+    delta_update,
+    make_jit_delta_updater,
+    movement_frontier,
+)
+from repro.errors import KernelUnavailableError
+from repro.graph.generators import ring_of_cliques
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.graph.generators.rmat import rmat_graph
+
+GAMMAS = [0.5, 1.0, 2.0]
+
+_compiled = get_runtime()
+PROVIDERS = ["python"] + ([_compiled.provider] if _compiled else [])
+
+
+@pytest.fixture(scope="module", params=["ring", "lfr", "rmat"])
+def graph(request):
+    if request.param == "ring":
+        return ring_of_cliques(8, 6)
+    if request.param == "lfr":
+        return lfr_graph(LFRParams(n=300, seed=1))[0]
+    return rmat_graph(8, edge_factor=8.0, seed=3)
+
+
+@pytest.fixture(params=PROVIDERS)
+def runtime(request):
+    return require_runtime(request.param)
+
+
+def _assert_results_equal(res, ref):
+    np.testing.assert_array_equal(res.active_idx, ref.active_idx)
+    np.testing.assert_array_equal(res.best_comm, ref.best_comm)
+    np.testing.assert_array_equal(res.best_gain, ref.best_gain)
+    np.testing.assert_array_equal(res.stay_gain, ref.stay_gain)
+    np.testing.assert_array_equal(res.move, ref.move)
+
+
+class TestJitBitExactness:
+    @pytest.mark.parametrize("gamma", GAMMAS)
+    @pytest.mark.parametrize("remove_self", [True, False])
+    def test_decide_matrix_through_cache_lifecycle(
+        self, graph, runtime, gamma, remove_self
+    ):
+        """The full cross-backend matrix, jit vs the reference kernel,
+        driven through 4 BSP sweeps with shrinking active sets."""
+        k = JitKernel(runtime=runtime)
+        state = CommunityState.singletons(graph, resolution=gamma)
+        k.reset(state)
+        rng = np.random.default_rng(7)
+        for it in range(4):
+            if it == 0:
+                idx = np.arange(graph.n, dtype=np.int64)
+            else:
+                idx = np.flatnonzero(rng.random(graph.n) < 0.4)
+            ref = decide_moves(state, idx, remove_self=remove_self)
+            _assert_results_equal(k(state, idx, remove_self), ref)
+            next_comm = ref.next_comm(state.comm)
+            moved = next_comm != state.comm
+            prev = state.comm
+            state.comm = next_comm
+            frontier = delta_update(state, prev, moved)
+            state.refresh_community_aggregates()
+            k.notify_moves(state, prev, moved, frontier=frontier)
+
+    def test_empty_active_set(self, graph, runtime):
+        state = CommunityState.singletons(graph)
+        idx = np.empty(0, dtype=np.int64)
+        k = JitKernel(runtime=runtime)
+        k.reset(state)
+        _assert_results_equal(k(state, idx, True), decide_moves(state, idx))
+
+    def test_delta_update_bit_identical(self, graph, runtime):
+        """The fused compiled delta pass vs the two-step NumPy scheme:
+        identical d_comm and identical frontier, sweep after sweep."""
+        from repro.core.arena import BufferArena
+
+        state_np = CommunityState.singletons(graph)
+        state_jit = CommunityState.singletons(graph)
+        arena = BufferArena()
+        updater = make_jit_delta_updater(runtime, arena)
+        for _ in range(4):
+            res = decide_moves(state_np, np.arange(graph.n, dtype=np.int64))
+            next_comm = res.next_comm(state_np.comm)
+            moved = next_comm != state_np.comm
+            prev = state_np.comm
+            state_np.comm = next_comm.copy()
+            state_jit.comm = next_comm.copy()
+            f_np = delta_update(state_np, prev, moved)
+            arena.tick()
+            f_jit = updater(state_jit, prev, moved)
+            np.testing.assert_array_equal(state_jit.d_comm, state_np.d_comm)
+            np.testing.assert_array_equal(f_jit, f_np)
+            state_np.refresh_community_aggregates()
+            state_jit.refresh_community_aggregates()
+            if not moved.any():
+                break
+
+    def test_aggregates_bit_identical_to_bincount(self, graph, runtime):
+        state = CommunityState.singletons(graph)
+        rng = np.random.default_rng(3)
+        state.comm = rng.integers(0, graph.n, size=graph.n, dtype=np.int64)
+        comm_strength = np.empty(graph.n, dtype=np.float64)
+        comm_size = np.empty(graph.n, dtype=np.int64)
+        runtime.aggregates(
+            state.comm, graph.strength, comm_strength, comm_size
+        )
+        np.testing.assert_array_equal(
+            comm_strength,
+            np.bincount(state.comm, weights=graph.strength, minlength=graph.n),
+        )
+        np.testing.assert_array_equal(
+            comm_size, np.bincount(state.comm, minlength=graph.n)
+        )
+
+    @pytest.mark.parametrize("gamma", GAMMAS)
+    def test_run_phase1_history_matches_reference(self, graph, gamma):
+        """End-to-end: kernel="jit" (auto-selected provider) through the
+        engine, bit-identical history vs the vectorized reference."""
+        if _compiled is None:
+            pytest.skip("no compile provider on this machine")
+        cfg = dict(pruning="mg", resolution=gamma)
+        ref = run_phase1(graph, Phase1Config(kernel="vectorized", **cfg))
+        r = run_phase1(graph, Phase1Config(kernel="jit", **cfg))
+        np.testing.assert_array_equal(r.communities, ref.communities)
+        assert r.modularity == ref.modularity
+        assert len(r.history) == len(ref.history)
+        for ha, hb in zip(r.history, ref.history):
+            assert ha.num_moved == hb.num_moved
+            assert ha.modularity == hb.modularity
+            assert ha.kernel_backend == "jit"
+
+
+class TestProviders:
+    def test_python_provider_always_available(self):
+        rt = require_runtime("python")
+        assert rt.provider == "python"
+
+    def test_auto_never_selects_interpreted(self):
+        rt = get_runtime("auto")
+        assert rt is None or rt.provider in ("numba", "cc")
+
+    def test_off_disables(self):
+        assert get_runtime("off") is None
+        assert get_runtime("none") is None
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(ValueError, match="jit provider"):
+            get_runtime("tpu")
+
+    def test_env_var_selects_provider(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "off")
+        assert get_runtime() is None
+
+    def test_probe_rejects_bit_inexact_provider(self, monkeypatch):
+        """A provider that compiles but produces different floats must
+        never survive the warm-up probe."""
+
+        def broken():
+            rt = jitmod._python_runtime()
+
+            def bad_decide(*args):
+                good = jitmod._decide_loop(*args)
+                args[17][:] += 1  # corrupt best_gain
+                return good
+
+            rt.decide = bad_decide
+            return rt
+
+        monkeypatch.setitem(jitmod._PROVIDERS, "cc", broken)
+        jitmod._reset_runtime_cache()
+        try:
+            assert jitmod._probe("cc") is None
+        finally:
+            jitmod._reset_runtime_cache()
+
+
+class TestFallback:
+    def test_numba_absent_is_harmless(self, monkeypatch):
+        """With numba stubbed out entirely, auto probing either finds the
+        C provider or degrades to None — never an exception."""
+        monkeypatch.setitem(sys.modules, "numba", None)  # import -> ImportError
+        jitmod._reset_runtime_cache()
+        try:
+            assert get_runtime("numba") is None
+            rt = get_runtime("auto")
+            assert rt is None or rt.provider == "cc"
+        finally:
+            jitmod._reset_runtime_cache()
+
+    def test_no_provider_raises_friendly_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "off")
+        with pytest.raises(KernelUnavailableError, match="repro\\[jit\\]"):
+            require_runtime()
+
+    def test_explicit_jit_kernel_raises_without_provider(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "off")
+        with pytest.raises(KernelUnavailableError):
+            make_kernel("jit")
+
+    def test_auto_kernel_falls_back_silently(self, graph, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "off")
+        k = make_kernel("auto")
+        assert isinstance(k, AutoKernel)
+        state = CommunityState.singletons(graph)
+        k.reset(state)  # probe runs here; must not raise
+        assert k.jit is None
+        idx = np.arange(graph.n, dtype=np.int64)
+        _assert_results_equal(k(state, idx, True), decide_moves(state, idx))
+        assert k.last_backend in {"vectorized", "bincount", "incremental"}
+
+    def test_run_phase1_identical_with_and_without_jit(self, graph, monkeypatch):
+        cfg = dict(pruning="mg", kernel="auto")
+        with_jit = run_phase1(graph, Phase1Config(**cfg))
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "off")
+        jitmod._reset_runtime_cache()
+        try:
+            without = run_phase1(graph, Phase1Config(**cfg))
+        finally:
+            jitmod._reset_runtime_cache()
+        np.testing.assert_array_equal(with_jit.communities, without.communities)
+        assert with_jit.modularity == without.modularity
+
+    def test_cli_renders_friendly_error(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        edges = tmp_path / "g.txt"
+        g = ring_of_cliques(4, 5)
+        from repro.graph.io import save_edge_list
+
+        save_edge_list(g, str(edges))
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "off")
+        jitmod._reset_runtime_cache()
+        try:
+            code = main(["detect", str(edges), "--kernel", "jit"])
+        finally:
+            jitmod._reset_runtime_cache()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "repro[jit]" in err
+
+    def test_cli_kernel_env_override(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        edges = tmp_path / "g.txt"
+        from repro.graph.io import save_edge_list
+
+        save_edge_list(ring_of_cliques(4, 5), str(edges))
+        monkeypatch.setenv("REPRO_KERNEL", "jit")
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "off")
+        jitmod._reset_runtime_cache()
+        try:
+            code = main(["detect", str(edges)])
+        finally:
+            jitmod._reset_runtime_cache()
+        assert code == 2  # env override reached the engine config
+
+
+class TestTraceAccounting:
+    def test_compile_time_and_backend_in_trace(self, graph):
+        if _compiled is None:
+            pytest.skip("no compile provider on this machine")
+        r = run_phase1(graph, Phase1Config(pruning="mg", kernel="auto"))
+        assert r.history[0].kernel_backend == "jit"
+        # compile time is charged exactly once, on the first trace
+        assert r.history[0].kernel_compile_s >= 0.0
+        assert all(h.kernel_compile_s == 0.0 for h in r.history[1:])
+
+    def test_manifest_records_backend_and_arena(self, graph):
+        from repro.obs.manifest import build_manifest
+
+        r = run_phase1(graph, Phase1Config(pruning="mg", kernel="auto"))
+        m = build_manifest(r, graph)
+        lvl = m.levels[0]
+        assert "kernel_backends" in lvl and sum(lvl["kernel_backends"].values()) == len(r.history)
+        assert lvl["arena_allocs"] == r.history[-1].arena_allocs
+        assert lvl["kernel_compile_s"] == pytest.approx(
+            sum(h.kernel_compile_s for h in r.history)
+        )
+
+    def test_report_renders_kernel_line(self, graph):
+        from repro.obs.manifest import build_manifest
+        from repro.obs.report import render_manifest
+
+        r = run_phase1(graph, Phase1Config(pruning="mg", kernel="auto"))
+        m = build_manifest(r, graph)
+        text = render_manifest(m)
+        assert "kernel:" in text
+        assert "arena: allocs=" in text
+
+
+def test_movement_frontier_out_param(graph):
+    state = CommunityState.singletons(graph)
+    res = decide_moves(state, np.arange(graph.n, dtype=np.int64))
+    moved = res.next_comm(state.comm) != state.comm
+    plain = movement_frontier(graph, moved)
+    out = np.zeros(graph.n, dtype=bool)
+    got = movement_frontier(graph, moved, out=out)
+    assert got is out
+    np.testing.assert_array_equal(got, plain)
