@@ -1,0 +1,276 @@
+"""Mixed-traffic load generator for the detection service — regenerates
+``BENCH_serve.json``.
+
+Four traffic phases against one in-process :class:`DetectionServer`
+(subprocess worker pool, the production runner):
+
+* **hot** — one medium graph, the same (config, seed) repeated: request 1
+  is the cold engine run, every later request must be a cache hit. The
+  headline number is ``cold_ms / hit_p50_ms`` — the serving layer's
+  price-of-recomputation avoided (acceptance floor: >= 50x).
+* **cold** — distinct graphs requested once each: pure miss traffic,
+  measures engine-run latency and throughput through the pool.
+* **sweep** — one graph under a config sweep (resolution x pruning), run
+  twice: the first pass misses, the second pass must hit every entry —
+  the canonical-cache-key contract under field variation.
+* **overload** — ``4 x max_pending`` concurrent no-cache clients: the
+  server must shed with 503s (bounded backlog) while still answering —
+  pings keep succeeding and some requests complete.
+
+The phase results plus the server's own drain manifest (latency
+histograms, hit/miss counters, ``drained_clean``) go into the JSON
+report and the manifest file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [-o BENCH_serve.json]
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke  # CI: small + asserts
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import time
+
+from repro import obs
+from repro.graph.generators import rmat_graph
+from repro.serve import DetectionServer, ServeClient, ServeConfig
+
+
+def _pct(values: list, q: float) -> float:
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+async def _timed_detect(client: ServeClient, fingerprint: str, **kw) -> tuple:
+    t0 = time.perf_counter()
+    response = await client.detect(fingerprint, raise_on_error=False, **kw)
+    return (time.perf_counter() - t0) * 1000.0, response
+
+
+async def _hot_phase(client, fingerprint: str, requests: int) -> dict:
+    config = {"pruning": "mg", "resolution": 1.0}
+    cold_ms, first = await _timed_detect(
+        client, fingerprint, config=config, seed=0
+    )
+    assert first["ok"] and not first["cached"], first
+    hits = []
+    for _ in range(requests - 1):
+        ms, response = await _timed_detect(
+            client, fingerprint, config=config, seed=0
+        )
+        assert response["ok"] and response["cached"], response
+        assert response["assignment_sha256"] == first["assignment_sha256"]
+        hits.append(ms)
+    return {
+        "requests": requests,
+        "cold_ms": round(cold_ms, 3),
+        "hit_p50_ms": round(_pct(hits, 50), 4),
+        "hit_p99_ms": round(_pct(hits, 99), 4),
+        "speedup": round(cold_ms / _pct(hits, 50), 1),
+    }
+
+
+async def _cold_phase(client, fingerprints: list) -> dict:
+    misses = []
+    t0 = time.perf_counter()
+    for fp in fingerprints:
+        ms, response = await _timed_detect(client, fp, seed=0)
+        assert response["ok"] and not response["cached"], response
+        misses.append(ms)
+    wall = time.perf_counter() - t0
+    return {
+        "graphs": len(fingerprints),
+        "miss_p50_ms": round(_pct(misses, 50), 2),
+        "miss_max_ms": round(max(misses), 2),
+        "throughput_rps": round(len(fingerprints) / wall, 2),
+    }
+
+
+async def _sweep_phase(client, fingerprint: str, configs: list) -> dict:
+    for passno, expect_cached in ((1, False), (2, True)):
+        for config in configs:
+            _, response = await _timed_detect(
+                client, fingerprint, config=config, seed=0
+            )
+            assert response["ok"], response
+            assert response["cached"] == expect_cached, (passno, config, response)
+    return {"configs": len(configs), "second_pass_all_hits": True}
+
+
+async def _overload_phase(
+    host: str, port: int, fingerprint: str, max_pending: int, per_client: int
+) -> dict:
+    clients = 4 * max_pending
+    counts = {"ok": 0, "shed": 0, "other": 0}
+
+    async def one_client() -> None:
+        async with await ServeClient.connect(host, port) as c:
+            for _ in range(per_client):
+                response = await c.detect(
+                    fingerprint, seed=0, no_cache=True, raise_on_error=False
+                )
+                if response.get("ok"):
+                    counts["ok"] += 1
+                elif response.get("error") == "overloaded":
+                    counts["shed"] += 1
+                else:
+                    counts["other"] += 1
+
+    async def probe() -> int:
+        # the liveness probe: intake must answer while the pool is pinned
+        answered = 0
+        async with await ServeClient.connect(host, port) as c:
+            while sum(counts.values()) < clients * per_client:
+                await c.ping()
+                answered += 1
+                await asyncio.sleep(0.01)
+        return answered
+
+    probe_task = asyncio.create_task(probe())
+    await asyncio.gather(*(one_client() for _ in range(clients)))
+    pings = await probe_task
+    offered = clients * per_client
+    return {
+        "clients": clients,
+        "offered": offered,
+        "ok": counts["ok"],
+        "shed": counts["shed"],
+        "other": counts["other"],
+        "shed_rate": round(counts["shed"] / offered, 3),
+        "pings_answered_during_overload": pings,
+        "max_pending": max_pending,
+    }
+
+
+async def run(args: argparse.Namespace) -> dict:
+    if args.smoke:
+        hot_scale, cold_scales, hot_requests, per_client = 11, (10, 10), 10, 4
+        cold_seeds = (21, 22)
+    else:
+        hot_scale, cold_scales, hot_requests, per_client = 14, (13, 14, 15), 50, 8
+        cold_seeds = (21, 22, 23)
+    max_pending = 4
+
+    server = DetectionServer(ServeConfig(
+        port=0,
+        workers=args.workers,
+        runner=args.runner,
+        max_pending=max_pending,
+        request_timeout_s=300.0,
+    ))
+    t_boot = time.perf_counter()
+    host, port = await server.start()
+    boot_s = time.perf_counter() - t_boot
+
+    hot_graph = rmat_graph(hot_scale, edge_factor=8, seed=7)
+    cold_graphs = [
+        rmat_graph(s, edge_factor=8, seed=seed)
+        for s, seed in zip(cold_scales, cold_seeds)
+    ]
+    # resolution 1.0 is excluded: the hot phase already primed (mg, 1.0),
+    # and the sweep's first pass asserts every entry is a miss
+    sweep_configs = [
+        {"pruning": pruning, "resolution": resolution}
+        for pruning in (["mg", "rm"] if not args.smoke else ["mg"])
+        for resolution in ([0.5, 1.5, 2.0] if not args.smoke else [0.5, 2.0])
+    ]
+
+    report: dict = {}
+    try:
+        async with await ServeClient.connect(host, port) as client:
+            hot_fp = await client.upload(hot_graph)
+            cold_fps = [await client.upload(g) for g in cold_graphs]
+
+            print("phase: hot (repeated graph, cache hits) ...", flush=True)
+            report["hot"] = await _hot_phase(client, hot_fp, hot_requests)
+            print(f"  cold={report['hot']['cold_ms']}ms "
+                  f"hit_p50={report['hot']['hit_p50_ms']}ms "
+                  f"speedup={report['hot']['speedup']}x", flush=True)
+
+            print("phase: cold (distinct graphs, engine runs) ...", flush=True)
+            report["cold"] = await _cold_phase(client, cold_fps)
+
+            print("phase: sweep (config grid twice) ...", flush=True)
+            report["sweep"] = await _sweep_phase(client, hot_fp, sweep_configs)
+
+        print(f"phase: overload ({4 * max_pending} clients vs "
+              f"max_pending={max_pending}) ...", flush=True)
+        report["overload"] = await _overload_phase(
+            host, port, hot_fp, max_pending, per_client
+        )
+        print(f"  ok={report['overload']['ok']} "
+              f"shed={report['overload']['shed']}", flush=True)
+    finally:
+        clean = await server.drain()
+
+    manifest = server.manifest(command="bench_serve")
+    if args.manifest:
+        obs.save_manifest(manifest, args.manifest)
+        print(f"wrote serving manifest to {args.manifest}")
+    r = manifest.result
+    report["server"] = {
+        "boot_s": round(boot_s, 3),
+        "runner": args.runner,
+        "workers": args.workers,
+        "requests": r["requests"],
+        "cache_hit_rate": round(r["cache_hit_rate"], 3),
+        "latency_p50_ms": round(r["latency_p50_ms"], 3),
+        "latency_p99_ms": round(r["latency_p99_ms"], 3),
+        "drained_clean": clean,
+    }
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("-o", "--output", default="BENCH_serve.json")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="also write the server's drain manifest here")
+    parser.add_argument("--runner", default="subprocess",
+                        choices=["subprocess", "inline"])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graphs + hard asserts (the CI job)")
+    args = parser.parse_args()
+
+    report = asyncio.run(run(args))
+    report = {
+        "description": (
+            "detection-service load generator: hot repeated-graph traffic "
+            "(cache hits), cold distinct graphs (engine runs through the "
+            "subprocess pool), a config sweep run twice (canonical cache "
+            "keys), and a 4x-max_pending overload burst (load shedding)"
+        ),
+        "machine_note": (
+            f"rmat graphs, runner={args.runner} workers={args.workers}; "
+            "latencies measured client-side over loopback TCP"
+        ),
+        **report,
+    }
+
+    # the acceptance contract, asserted hardest under --smoke (CI)
+    assert report["server"]["drained_clean"], "drain was not clean"
+    assert report["server"]["cache_hit_rate"] > 0, "no cache hits recorded"
+    assert report["hot"]["speedup"] >= 50, (
+        f"cached speedup {report['hot']['speedup']}x < 50x floor"
+    )
+    assert report["overload"]["shed"] > 0, "overload burst was never shed"
+    assert report["overload"]["ok"] > 0, "overload burst starved completely"
+    assert report["overload"]["pings_answered_during_overload"] > 0
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    print(f"hot speedup {report['hot']['speedup']}x, "
+          f"hit rate {report['server']['cache_hit_rate']}, "
+          f"shed {report['overload']['shed']}/{report['overload']['offered']} "
+          f"-> {args.output}")
+
+
+if __name__ == "__main__":
+    main()

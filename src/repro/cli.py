@@ -3,6 +3,7 @@
 Commands
 --------
 ``detect``    Detect communities in an edge-list file with GALA.
+``serve``     Run the long-lived detection service (see docs/serving.md).
 ``stats``     Print structural statistics of a graph file.
 ``generate``  Generate a synthetic benchmark graph to an edge-list file.
 ``report``    Render a run manifest (or diff two) as breakdown tables.
@@ -12,13 +13,20 @@ Commands
 trace-event JSON for Perfetto), ``--metrics`` (per-iteration JSONL), and
 ``--manifest`` (run manifest for ``repro report``); see
 ``docs/observability.md``.
+
+``detect`` and ``serve`` exit cleanly on SIGINT/SIGTERM: observability
+streams are flushed, a partial (``detect``) or final (``serve``)
+manifest is written, and the exit code follows the ``128 + signum``
+convention (``serve`` drains and exits 0).
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import signal
 import sys
+import threading
 import time
 
 import numpy as np
@@ -29,6 +37,50 @@ from repro.graph.generators import lfr_graph, LFRParams, rmat_graph
 from repro.graph.io import load_edge_list, save_edge_list
 from repro.graph.stats import compute_stats
 from repro.metrics import coverage, mean_conductance
+
+
+class _Interrupted(BaseException):
+    """SIGINT/SIGTERM, converted so cleanup can run on the way out.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so no
+    library's ``except Exception`` swallows a shutdown request.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(signum)
+        self.signum = signum
+
+    @property
+    def name(self) -> str:
+        return signal.Signals(self.signum).name
+
+
+@contextlib.contextmanager
+def _graceful_signals():
+    """Convert SIGINT/SIGTERM into :class:`_Interrupted` for this scope.
+
+    The ``with`` unwind is the cleanup path: observability sessions flush
+    their trace/metrics artifacts in their ``__exit__``, so converting
+    the signal into an exception (instead of letting the default handler
+    dump a traceback or kill the process outright) is what makes a
+    Ctrl+C leave usable artifacts behind. No-op outside the main thread
+    (signal handlers are a main-thread-only API — e.g. under pytest
+    workers)."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def handler(signum, frame):
+        raise _Interrupted(signum)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, handler)
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
 
 
 def _add_detect(sub: argparse._SubParsersAction) -> None:
@@ -89,6 +141,119 @@ def _add_detect(sub: argparse._SubParsersAction) -> None:
                         "'repro report')")
 
 
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the detection service (asyncio, JSON-lines over TCP; "
+             "see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7461,
+                   help="TCP port (0 = ephemeral; the bound port is "
+                        "printed on startup)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="subprocess engine workers (the detect concurrency)")
+    p.add_argument("--runner", default="subprocess",
+                   choices=["subprocess", "inline"],
+                   help="engine runner; 'inline' runs engines in-process "
+                        "(tests/smoke only — engine runs hold the GIL and "
+                        "stall intake)")
+    p.add_argument("--cache-mb", type=float, default=64.0,
+                   help="result-cache byte budget in MiB")
+    p.add_argument("--registry-mb", type=float, default=None,
+                   help="graph-registry byte budget in MiB (default: "
+                        "unbounded)")
+    p.add_argument("--max-pending", type=int, default=32,
+                   help="admission bound: engine runs in flight before "
+                        "detect requests are shed with a 503")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request engine timeout in seconds (0 = none)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="graceful-drain budget on SIGINT/SIGTERM")
+    p.add_argument("--graph", action="append", default=[], metavar="PATH",
+                   help="edge-list file to preload into the registry "
+                        "(repeatable; fingerprints are printed)")
+    p.add_argument("--weighted", action="store_true",
+                   help="preloaded graphs carry a third weight column")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="write the serving-session manifest here on "
+                        "shutdown (input to 'repro report')")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig
+
+    cfg = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        runner=args.runner,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        registry_bytes=(
+            int(args.registry_mb * (1 << 20)) if args.registry_mb else None
+        ),
+        max_pending=args.max_pending,
+        request_timeout_s=args.timeout if args.timeout > 0 else None,
+        drain_timeout_s=args.drain_timeout,
+    )
+    return asyncio.run(_serve_main(args, cfg))
+
+
+async def _serve_main(args: argparse.Namespace, cfg) -> int:
+    import asyncio
+
+    from repro import obs
+    from repro.serve import DetectionServer
+
+    stop = asyncio.Event()
+    received: dict[str, int] = {}
+
+    def _on_signal(signum: int) -> None:
+        received.setdefault("signum", signum)
+        stop.set()
+
+    # handlers go in before the first line of output: a supervisor (or
+    # test) that signals the moment it sees "serving on" must find them
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, _on_signal, sig)
+
+    server = DetectionServer(cfg)
+    for path in args.graph:
+        graph = load_edge_list(path, weighted=args.weighted)
+        fingerprint = server.registry.put(graph)
+        print(f"registered {graph.name}: n={graph.n} m={graph.num_edges} "
+              f"fingerprint={fingerprint}", flush=True)
+    host, port = await server.start()
+    print(f"serving on {host}:{port} (runner={cfg.runner} "
+          f"workers={cfg.workers} max_pending={cfg.max_pending})", flush=True)
+
+    serve_task = asyncio.create_task(server.serve_forever())
+    try:
+        await stop.wait()
+    finally:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(sig)
+    name = signal.Signals(received.get("signum", signal.SIGTERM)).name
+    print(f"received {name}; draining "
+          f"({server._inflight} in flight) ...", flush=True)
+    clean = await server.drain()
+    serve_task.cancel()
+    with contextlib.suppress(asyncio.CancelledError):
+        await serve_task
+    if args.manifest:
+        manifest = server.manifest(command=f"serve {host}:{port}")
+        obs.save_manifest(manifest, args.manifest)
+        print(f"wrote serving manifest to {args.manifest}")
+    stats = server.cache.stats()
+    print(f"drained {'clean' if clean else 'with cancellations'}; "
+          f"served {int(server.metrics.counter('serve/requests_total').value)} "
+          f"requests, cache hit rate {stats['hit_rate']:.2f}")
+    return 0
+
+
 def _add_report(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "report",
@@ -126,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_detect(sub)
+    _add_serve(sub)
     _add_stats(sub)
     _add_generate(sub)
     _add_report(sub)
@@ -134,15 +300,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_partial_manifest(args, graph, cfg, sess, exc) -> None:
+    """The interrupted-run manifest: identity without a result."""
+    from repro import obs
+
+    manifest = obs.RunManifest(
+        command="detect " + (graph.name if graph is not None else args.graph),
+        runtime=args.algorithm,
+        config=cfg if isinstance(cfg, dict) else _manifest_config(cfg),
+        seed=args.seed,
+        graph=obs.graph_fingerprint(graph) if graph is not None else {},
+        metrics=sess.summary() if sess is not None else {},
+    )
+    manifest.result = {"partial": True, "signal": exc.name}
+    obs.save_manifest(manifest, args.manifest)
+    print(f"wrote partial run manifest to {args.manifest}")
+
+
+def _manifest_config(cfg):
+    from repro.obs.manifest import _config_dict
+
+    return _config_dict(cfg)
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     import os
 
     from repro import analysis, obs
 
-    graph = load_edge_list(args.graph, weighted=args.weighted)
-    print(f"loaded {graph.name}: n={graph.n} m={graph.num_edges}")
     kernel = args.kernel or os.environ.get("REPRO_KERNEL") or "auto"
-
     sanitize = args.sanitize
     if sanitize is None and args.sanitize_report:
         sanitize = "fast"
@@ -153,86 +339,115 @@ def cmd_detect(args: argparse.Namespace) -> int:
         else contextlib.nullcontext()
     )
     san_cm = analysis.sanitized(sanitize) if sanitize else contextlib.nullcontext()
+    graph = None
+    sess = san = None
+    cfg = None
+    manifest_written = False
     start = time.perf_counter()
-    with sess_cm as sess, san_cm as san:
-        if args.algorithm == "leiden":
-            result = leiden(
-                graph, resolution=args.resolution, theta=args.theta,
-                seed=args.seed,
-            )
-        else:
-            cfg = GalaConfig(
-                pruning=args.pruning,
-                resolution=args.resolution,
-                theta=args.theta,
-                seed=args.seed,
-                phase1_only=args.phase1_only,
-                backend=args.backend,
-                gpusim_engine=args.gpusim_engine,
-                kernel=kernel,
-            )
-            try:
-                result = gala(graph, cfg)
-            except KernelUnavailableError as exc:
-                # explicit --kernel jit (or REPRO_KERNEL=jit) without a
-                # compile provider: a message, not a traceback
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
-    elapsed = time.perf_counter() - start
+    try:
+        # the converted-signal scope covers the whole command, artifact
+        # tail included: a signal at any point exits 128+signum with
+        # flushed artifacts instead of a mid-print kill or a traceback
+        with _graceful_signals():
+            graph = load_edge_list(args.graph, weighted=args.weighted)
+            print(f"loaded {graph.name}: n={graph.n} m={graph.num_edges}",
+                  flush=True)
+            with sess_cm as sess, san_cm as san:
+                if args.algorithm == "leiden":
+                    result = leiden(
+                        graph, resolution=args.resolution, theta=args.theta,
+                        seed=args.seed,
+                    )
+                else:
+                    cfg = GalaConfig(
+                        pruning=args.pruning,
+                        resolution=args.resolution,
+                        theta=args.theta,
+                        seed=args.seed,
+                        phase1_only=args.phase1_only,
+                        backend=args.backend,
+                        gpusim_engine=args.gpusim_engine,
+                        kernel=kernel,
+                    )
+                    try:
+                        result = gala(graph, cfg)
+                    except KernelUnavailableError as exc:
+                        # explicit --kernel jit (or REPRO_KERNEL=jit)
+                        # without a compile provider: a message, not a
+                        # traceback
+                        print(f"error: {exc}", file=sys.stderr)
+                        return 2
+            elapsed = time.perf_counter() - start
 
-    san_exit = 0
-    if sanitize:
-        print(san.log.render())
-        if args.sanitize_report:
-            import json
+            san_exit = 0
+            if sanitize:
+                print(san.log.render())
+                if args.sanitize_report:
+                    import json
 
-            with open(args.sanitize_report, "w") as fh:
-                json.dump(san.report(), fh, indent=2)
-            print(f"wrote sanitizer report to {args.sanitize_report}")
-        if not san.log.clean:
-            san_exit = 3
+                    with open(args.sanitize_report, "w") as fh:
+                        json.dump(san.report(), fh, indent=2)
+                    print(f"wrote sanitizer report to {args.sanitize_report}")
+                if not san.log.clean:
+                    san_exit = 3
 
-    if args.manifest:
-        manifest = getattr(result, "manifest", None)
-        if manifest is None:  # leiden has no attached manifest (yet)
-            manifest = obs.build_manifest(
-                result, graph,
-                metrics=sess.summary() if observed else None,
-                runtime=args.algorithm,
-            )
-        manifest.command = "detect " + graph.name
-        obs.save_manifest(manifest, args.manifest)
-        print(f"wrote run manifest to {args.manifest}")
-    if args.trace:
-        print(f"wrote Chrome trace to {args.trace}")
-    if args.metrics:
-        print(f"wrote metrics JSONL to {args.metrics}")
-    comm = result.communities
-    k = len(np.unique(comm))
-    print(f"detected {k} communities in {elapsed:.2f}s")
-    print(f"modularity:  {result.modularity:.5f} (gamma={args.resolution})")
-    print(f"coverage:    {coverage(graph, comm):.4f}")
-    print(f"conductance: {mean_conductance(graph, comm):.4f}")
-    if args.ground_truth:
-        from repro.metrics import (
-            adjusted_rand_index,
-            normalized_mutual_information,
-        )
+            if args.manifest:
+                manifest = getattr(result, "manifest", None)
+                if manifest is None:  # leiden has no attached manifest (yet)
+                    manifest = obs.build_manifest(
+                        result, graph,
+                        metrics=sess.summary() if observed else None,
+                        runtime=args.algorithm,
+                    )
+                manifest.command = "detect " + graph.name
+                obs.save_manifest(manifest, args.manifest)
+                manifest_written = True
+                print(f"wrote run manifest to {args.manifest}")
+            if args.trace:
+                print(f"wrote Chrome trace to {args.trace}")
+            if args.metrics:
+                print(f"wrote metrics JSONL to {args.metrics}")
+            comm = result.communities
+            k = len(np.unique(comm))
+            print(f"detected {k} communities in {elapsed:.2f}s")
+            print(f"modularity:  {result.modularity:.5f} "
+                  f"(gamma={args.resolution})")
+            print(f"coverage:    {coverage(graph, comm):.4f}")
+            print(f"conductance: {mean_conductance(graph, comm):.4f}")
+            if args.ground_truth:
+                from repro.metrics import (
+                    adjusted_rand_index,
+                    normalized_mutual_information,
+                )
 
-        truth = np.loadtxt(args.ground_truth, dtype=np.int64)
-        labels = truth[:, 1] if truth.ndim == 2 else truth
-        if len(labels) != graph.n:
-            raise SystemExit(
-                f"ground truth labels {len(labels)} != graph vertices {graph.n}"
-            )
-        print(f"NMI vs truth: {normalized_mutual_information(comm, labels):.4f}")
-        print(f"ARI vs truth: {adjusted_rand_index(comm, labels):.4f}")
-    if args.output:
-        with open(args.output, "w") as fh:
-            for v, c in enumerate(comm):
-                fh.write(f"{v} {c}\n")
-        print(f"wrote assignment to {args.output}")
-    return san_exit
+                truth = np.loadtxt(args.ground_truth, dtype=np.int64)
+                labels = truth[:, 1] if truth.ndim == 2 else truth
+                if len(labels) != graph.n:
+                    raise SystemExit(
+                        f"ground truth labels {len(labels)} != "
+                        f"graph vertices {graph.n}"
+                    )
+                print(f"NMI vs truth: "
+                      f"{normalized_mutual_information(comm, labels):.4f}")
+                print(f"ARI vs truth: {adjusted_rand_index(comm, labels):.4f}")
+            if args.output:
+                with open(args.output, "w") as fh:
+                    for v, c in enumerate(comm):
+                        fh.write(f"{v} {c}\n")
+                print(f"wrote assignment to {args.output}")
+            return san_exit
+    except _Interrupted as exc:
+        # the with-unwind above already flushed the obs session's trace
+        # and metrics streams; record what we know and exit 128+signum
+        if args.trace:
+            print(f"wrote Chrome trace to {args.trace}")
+        if args.metrics:
+            print(f"wrote metrics JSONL to {args.metrics}")
+        if args.manifest and not manifest_written:
+            _write_partial_manifest(args, graph, cfg, sess, exc)
+        print(f"interrupted ({exc.name}); partial artifacts flushed",
+              file=sys.stderr)
+        return 128 + exc.signum
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -307,6 +522,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return {
         "detect": cmd_detect,
+        "serve": cmd_serve,
         "stats": cmd_stats,
         "generate": cmd_generate,
         "report": cmd_report,

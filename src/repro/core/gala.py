@@ -11,6 +11,8 @@ simulated GPU with workload-aware kernel dispatch (Section 4) so the memory
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -73,6 +75,54 @@ class GalaConfig:
     #: adds the per-iteration weight-conservation and Lemma-5 audits
     #: (see :mod:`repro.analysis` and docs/sanitizers.md)
     sanitize: Union[str, bool, None] = None
+
+    #: fields that select *how* a run executes, not *what* it computes.
+    #: Every backend/kernel/engine combination is bit-identical (the
+    #: cross-backend exactness matrix from PRs 1/2/6 pins this), and the
+    #: sanitizers observe without perturbing, so two configs differing
+    #: only here produce the same assignment — the result cache must
+    #: treat them as the same key.
+    EXECUTION_FIELDS = frozenset(
+        {"backend", "kernel", "gpusim_engine", "sanitize"}
+    )
+
+    def cache_key(self) -> str:
+        """Canonical serialization of the *semantic* configuration.
+
+        The key is a JSON object with sorted field names and every
+        default expanded, covering exactly the fields that can change the
+        detection result: two ``GalaConfig`` instances produce the same
+        key iff a deterministic run must produce the same assignment on
+        the same graph and seed. ``seed`` is excluded — the serving
+        layer's result cache keys on ``(fingerprint, cache_key, seed)``
+        so a seed sweep reads as one config — and so are the
+        execution-only fields (:data:`EXECUTION_FIELDS`), which select a
+        backend but not an answer.
+
+        Round-trips through :meth:`from_cache_key`.
+        """
+        fields = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in self.EXECUTION_FIELDS and f.name != "seed"
+        }
+        return json.dumps(fields, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_cache_key(cls, key: str) -> "GalaConfig":
+        """Rebuild a config from :meth:`cache_key` output.
+
+        Execution-only fields and ``seed`` come back at their defaults
+        (the key deliberately does not carry them); everything semantic
+        round-trips exactly: ``GalaConfig.from_cache_key(c.cache_key())
+        .cache_key() == c.cache_key()`` for any ``c``.
+        """
+        fields = json.loads(key)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(fields) - known
+        if unknown:
+            raise ValueError(f"cache key carries unknown fields: {sorted(unknown)}")
+        return cls(**fields)
 
     def phase1_config(self) -> Phase1Config:
         kernel: Union[str, object] = self.kernel

@@ -7,6 +7,7 @@ for the weight conventions, which follow the paper's Section 2.1).
 """
 
 from repro.graph.csr import CSRGraph
+from repro.graph.fingerprint import compute_csr_sha256, csr_sha256, graph_fingerprint
 from repro.graph.builder import (
     build_csr,
     from_edge_array,
@@ -19,6 +20,9 @@ from repro.graph.reorder import degree_order, bfs_order, relabel_graph
 
 __all__ = [
     "CSRGraph",
+    "csr_sha256",
+    "compute_csr_sha256",
+    "graph_fingerprint",
     "build_csr",
     "from_edge_array",
     "symmetrize_edges",

@@ -54,6 +54,7 @@ class CSRGraph:
     _degrees: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
     _row_ids: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
     _total_weight: Optional[float] = field(default=None, repr=False, compare=False)
+    _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -127,6 +128,22 @@ class CSRGraph:
         if self._degrees is None:
             object.__setattr__(self, "_degrees", np.diff(self.indptr))
         return self._degrees
+
+    @property
+    def fingerprint(self) -> str:
+        """Full sha256 hex digest of the CSR payload arrays.
+
+        Computed lazily once and cached; the graph is treated as
+        immutable, so no invalidation is ever needed. Run manifests, the
+        serving layer's graph registry, and the result cache all key on
+        this digest — before the cache, every manifest build re-hashed
+        the same arrays (O(E) per run on a graph that never changes).
+        """
+        if self._fingerprint is None:
+            from repro.graph.fingerprint import compute_csr_sha256
+
+            object.__setattr__(self, "_fingerprint", compute_csr_sha256(self))
+        return self._fingerprint
 
     @property
     def row_ids(self) -> np.ndarray:

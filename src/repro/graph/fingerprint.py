@@ -1,0 +1,66 @@
+"""Structural identity of a CSR graph: the sha256 content fingerprint.
+
+The digest covers the full CSR payload (offsets, neighbours, weights,
+self-loops), so two graphs fingerprint equal iff they are the same
+weighted graph with the same vertex numbering. This is the key the
+serving layer's graph registry and result cache are built on: runs are
+deterministic per (fingerprint, config, seed), so the fingerprint *is*
+the graph as far as a detection result is concerned.
+
+Historically this lived in :mod:`repro.obs.manifest` (manifests need it
+for run-to-run diffing); it moved here so :class:`~repro.graph.csr.CSRGraph`
+can compute and cache the digest once — hashing hundreds of megabytes of
+arrays on every manifest build or registry lookup was pure waste. The
+manifest module re-exports :func:`graph_fingerprint` for its callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+import numpy as np
+
+#: manifests carry a short prefix of the digest — enough to tell runs
+#: apart by eye while keeping report tables narrow
+SHORT_DIGEST_LEN = 16
+
+
+def csr_sha256(graph) -> str:
+    """Full sha256 hex digest of a CSR graph's payload arrays.
+
+    Prefers the graph's own lazily-cached digest
+    (:attr:`~repro.graph.csr.CSRGraph.fingerprint`) and only hashes the
+    arrays directly for duck-typed graph stand-ins that lack the cache.
+    """
+    cached = getattr(graph, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    if hasattr(graph, "fingerprint"):
+        return graph.fingerprint
+    return compute_csr_sha256(graph)
+
+
+def compute_csr_sha256(graph) -> str:
+    """Hash the CSR payload unconditionally (no cache involved)."""
+    h = hashlib.sha256()
+    for arr in (graph.indptr, graph.indices, graph.weights, graph.self_weight):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def graph_fingerprint(graph) -> Dict[str, Any]:
+    """Identity record of a :class:`CSRGraph` for manifests and reports.
+
+    The ``sha256`` field is the first :data:`SHORT_DIGEST_LEN` hex chars
+    of :func:`csr_sha256`; two graphs share it iff they are the same
+    weighted graph with the same vertex numbering — the precondition for
+    a meaningful run-to-run diff.
+    """
+    return {
+        "name": graph.name,
+        "n": int(graph.n),
+        "num_edges": int(graph.num_edges),
+        "total_weight": float(graph.total_weight),
+        "sha256": csr_sha256(graph)[:SHORT_DIGEST_LEN],
+    }

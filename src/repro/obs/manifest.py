@@ -15,7 +15,6 @@ never imports :mod:`repro.core` — the core imports *us*.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import platform
 import sys
 import time
@@ -24,28 +23,21 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+# Fingerprinting lives with the graph substrate now (CSRGraph caches the
+# digest; the serving layer's registry and result cache key on it) — the
+# re-export keeps this module the import site manifest consumers know.
+from repro.graph.fingerprint import graph_fingerprint
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "build_manifest",
+    "environment_info",
+    "graph_fingerprint",
+]
+
 #: bump when the manifest layout changes incompatibly
 MANIFEST_SCHEMA_VERSION = 1
-
-
-def graph_fingerprint(graph) -> Dict[str, Any]:
-    """Structural identity of a :class:`CSRGraph`.
-
-    The digest covers the full CSR payload (offsets, neighbours, weights,
-    self-loops), so two graphs fingerprint equal iff they are the same
-    weighted graph with the same vertex numbering — the precondition for a
-    meaningful run-to-run diff.
-    """
-    h = hashlib.sha256()
-    for arr in (graph.indptr, graph.indices, graph.weights, graph.self_weight):
-        h.update(np.ascontiguousarray(arr).tobytes())
-    return {
-        "name": graph.name,
-        "n": int(graph.n),
-        "num_edges": int(graph.num_edges),
-        "total_weight": float(graph.total_weight),
-        "sha256": h.hexdigest()[:16],
-    }
 
 
 def environment_info() -> Dict[str, str]:

@@ -227,6 +227,17 @@ class MetricsRegistry:
         self.gauge(f"{prefix}/halo_bytes").set(stats.bytes_sent)
         self.gauge(f"{prefix}/halo_messages").set(stats.messages)
 
+    def bridge_result_cache(self, cache, prefix: str = "serve/cache") -> None:
+        """Mirror a serving-layer :class:`~repro.serve.cache.ResultCache`.
+
+        The cache keeps exact cumulative counters for its whole lifetime
+        (like a device profiler), so the bridge *sets gauges* to the
+        current ``cache.stats()`` values — re-bridging converges on
+        exactly the cache's own numbers, never re-measures.
+        """
+        for name, value in cache.stats().items():
+            self.gauge(f"{prefix}/{name}").set(value)
+
     def bridge_arena(self, arena, prefix: str = "arena") -> None:
         """Accumulate a :class:`~repro.core.arena.BufferArena`'s counters.
 

@@ -70,6 +70,38 @@ def _cycle_rows(manifest: RunManifest) -> List[Dict[str, Any]]:
     ]
 
 
+def _serve_lines(manifest: RunManifest) -> List[str]:
+    """The serving-session section (manifests written by ``repro serve``)."""
+    r = manifest.result
+    histograms = manifest.metrics.get("histograms", {})
+
+    def pct(name: str, q: str) -> float:
+        return float(histograms.get(name, {}).get(q, 0.0))
+
+    hits = int(r.get("cache_hits", 0))
+    misses = int(r.get("cache_misses", 0))
+    lines = [
+        f"requests={r.get('requests', 0)} shed={r.get('shed', 0)} "
+        f"timeouts={r.get('timeouts', 0)} errors={r.get('errors', 0)} "
+        f"uptime={float(r.get('uptime_s') or 0.0):.1f}s "
+        f"drain={'clean' if r.get('drained_clean') else 'forced'}",
+        f"cache: hits={hits} misses={misses} "
+        f"hit_rate={float(r.get('cache_hit_rate') or 0.0):.2f}",
+        f"latency: p50={float(r.get('latency_p50_ms') or 0.0):.2f}ms "
+        f"p99={float(r.get('latency_p99_ms') or 0.0):.2f}ms "
+        f"(hit p50={pct('serve/hit_latency_ms', 'p50'):.2f}ms, "
+        f"miss p50={pct('serve/miss_latency_ms', 'p50'):.2f}ms)",
+    ]
+    gauges = manifest.metrics.get("gauges", {})
+    if "serve/registry/graphs" in gauges:
+        lines.append(
+            f"registry: graphs={int(gauges['serve/registry/graphs'])} "
+            f"bytes={int(gauges.get('serve/registry/bytes', 0))} "
+            f"evictions={int(gauges.get('serve/registry/evictions', 0))}"
+        )
+    return lines
+
+
 def render_manifest(manifest: RunManifest) -> str:
     """Human-readable report of one run."""
     from repro.bench.reporting import format_table
@@ -79,15 +111,32 @@ def render_manifest(manifest: RunManifest) -> str:
         f"run: {manifest.command or '(unknown command)'}",
         f"  runtime={manifest.runtime} seed={manifest.seed} "
         f"created={time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(manifest.created_unix))}",
-        f"  graph: {g.get('name')} n={g.get('n')} edges={g.get('num_edges')} "
-        f"sha256={g.get('sha256')}",
+    ]
+    if g:  # serving sessions have no single graph
+        lines.append(
+            f"  graph: {g.get('name')} n={g.get('n')} edges={g.get('num_edges')} "
+            f"sha256={g.get('sha256')}"
+        )
+    lines += [
         f"  env: " + " ".join(f"{k}={v}" for k, v in manifest.environment.items()),
         "",
-        f"modularity={manifest.result.get('modularity'):.5f} "
+    ]
+    if "requests" in manifest.result:  # a serving session, not one run
+        lines += _serve_lines(manifest)
+        return "\n".join(lines)
+    modularity = manifest.result.get("modularity")
+    headline = (
+        f"modularity={modularity:.5f} " if modularity is not None
+        else "modularity=n/a "
+    )
+    if manifest.result.get("partial"):
+        headline += f"(partial; interrupted by {manifest.result.get('signal')}) "
+    headline += (
         f"levels={manifest.result.get('num_levels')} "
         f"iterations={manifest.result.get('iterations')} "
-        f"communities={manifest.result.get('num_communities')}",
-    ]
+        f"communities={manifest.result.get('num_communities')}"
+    )
+    lines.append(headline)
     backends: Dict[str, int] = {}
     compile_s = 0.0
     arena_allocs = None

@@ -1,0 +1,68 @@
+"""``repro.serve`` — detection as a service.
+
+The paper's GPU Louvain exists to make community detection fast enough
+to sit behind interactive workloads; this package is the layer that
+actually sits there. A long-running asyncio server
+(:class:`DetectionServer`) accepts detection requests — a graph
+reference plus a :class:`~repro.core.gala.GalaConfig` — and answers from
+three tiers:
+
+1. a :class:`GraphRegistry`, content-addressed by the CSR sha256
+   fingerprint (:attr:`CSRGraph.fingerprint`), so adjacency arrays cross
+   the wire once, not per request;
+2. a :class:`ResultCache` — runs are deterministic per (fingerprint,
+   semantic config, seed), so a cached assignment is bit-identical to a
+   recomputed one and hot graphs cost one engine run ever;
+3. a :class:`WorkerPool` of subprocess engine runners behind the
+   :class:`DetectionRunner` seam, so NumPy's GIL-holding kernels never
+   stall intake, with per-request timeouts, cancellation, and
+   kill-and-respawn isolation.
+
+Admission control is a bounded in-flight budget: past it, requests are
+shed with a 503 in microseconds instead of queued into an unbounded
+backlog. ``python -m repro serve`` runs the server;
+``benchmarks/bench_serve.py`` is the mixed-traffic load generator; see
+``docs/serving.md`` for the architecture and tuning guide.
+"""
+
+from repro.serve.cache import CachedResult, ResultCache, assignment_sha256
+from repro.serve.client import ServeClient, ServeError, assignment_array
+from repro.serve.pool import (
+    DetectionFailed,
+    DetectionRunner,
+    DetectionTimeout,
+    InlineRunner,
+    PoolClosed,
+    WorkerPool,
+)
+from repro.serve.protocol import ProtocolError, graph_from_payload, graph_to_payload
+from repro.serve.registry import GraphRegistry, RegisteredGraph, graph_nbytes
+from repro.serve.server import DetectionServer, ServeConfig
+
+__all__ = [
+    # server
+    "DetectionServer",
+    "ServeConfig",
+    # registry
+    "GraphRegistry",
+    "RegisteredGraph",
+    "graph_nbytes",
+    # cache
+    "ResultCache",
+    "CachedResult",
+    "assignment_sha256",
+    # runners
+    "DetectionRunner",
+    "InlineRunner",
+    "WorkerPool",
+    "DetectionFailed",
+    "DetectionTimeout",
+    "PoolClosed",
+    # protocol / client
+    "ServeClient",
+    "ServeError",
+    "ProtocolError",
+    "graph_from_payload",
+    "graph_to_payload",
+    "assignment_array",
+]

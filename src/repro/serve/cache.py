@@ -1,0 +1,192 @@
+"""Deterministic LRU result cache for detection requests.
+
+Every run in this repo is deterministic per (graph fingerprint, semantic
+config, seed) — the cross-backend bit-exactness matrix pins it — so a
+detection result is a pure function of its cache key and can be served
+from memory, bit-identical, without touching an engine. That property is
+the economic core of the serving layer: hot repeated graphs cost one
+engine run ever.
+
+The cache is LRU under a byte budget (assignments dominate, so the
+budget counts the stored arrays) with exact hit/miss/eviction counters.
+:meth:`repro.obs.metrics.MetricsRegistry.bridge_result_cache` mirrors the
+counters into an observability snapshot so ``repro report`` renders them
+next to the engine numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: cache key: (graph fingerprint, GalaConfig.cache_key(), seed)
+CacheKey = Tuple[str, str, int]
+
+
+def assignment_sha256(communities: np.ndarray) -> str:
+    """Digest of an assignment array — the bit-identity witness the
+    protocol returns even when the caller skips the full assignment."""
+    return hashlib.sha256(
+        np.ascontiguousarray(communities, dtype=np.int64).tobytes()
+    ).hexdigest()
+
+
+@dataclass
+class CachedResult:
+    """The serveable subset of a detection result.
+
+    ``communities`` is stored as a read-only int64 array: a cache hit
+    hands out the same buffer to every caller, so nobody may scribble on
+    it — bit-identity across hits is the whole point.
+    """
+
+    communities: np.ndarray
+    modularity: float
+    num_levels: int
+    iterations: int
+    assignment_sha256: str = field(default="")
+
+    def __post_init__(self):
+        arr = np.ascontiguousarray(self.communities, dtype=np.int64)
+        arr.setflags(write=False)
+        self.communities = arr
+        if not self.assignment_sha256:
+            self.assignment_sha256 = assignment_sha256(arr)
+
+    @property
+    def num_communities(self) -> int:
+        return len(np.unique(self.communities))
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.communities.nbytes)
+
+    @classmethod
+    def from_result(cls, result) -> "CachedResult":
+        """Build from any result shape (``LouvainResult``,
+        ``EngineResult``/``Phase1Result``, or a worker's plain dict)."""
+        if isinstance(result, dict):
+            return cls(
+                communities=np.asarray(result["communities"], dtype=np.int64),
+                modularity=float(result["modularity"]),
+                num_levels=int(result.get("num_levels", 1)),
+                iterations=int(result.get("iterations", 0)),
+            )
+        levels = getattr(result, "levels", None)
+        if levels is not None:
+            iterations = sum(len(lvl.phase1.history) for lvl in levels)
+            num_levels = len(levels)
+        else:
+            iterations = int(getattr(result, "num_iterations", 0))
+            num_levels = 1
+        return cls(
+            communities=result.communities,
+            modularity=float(result.modularity),
+            num_levels=num_levels,
+            iterations=iterations,
+        )
+
+
+class ResultCache:
+    """Byte-budgeted LRU map from :data:`CacheKey` to :class:`CachedResult`."""
+
+    def __init__(self, max_bytes: int = 64 << 20):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CachedResult]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key(fingerprint: str, config, seed: Optional[int] = None) -> CacheKey:
+        """Build the canonical key for one request.
+
+        ``config`` is a :class:`~repro.core.gala.GalaConfig` (or anything
+        with a ``cache_key()``); ``seed`` defaults to the config's own.
+        """
+        if seed is None:
+            seed = int(getattr(config, "seed", 0))
+        return (fingerprint, config.cache_key(), int(seed))
+
+    def get(self, key: CacheKey) -> Optional[CachedResult]:
+        """Look up; counts a hit or miss and refreshes LRU order."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def peek(self, key: CacheKey) -> Optional[CachedResult]:
+        """Lookup without touching counters or LRU order (introspection)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: CacheKey, result: CachedResult) -> bool:
+        """Store one result; returns whether it was admitted.
+
+        A result larger than the whole budget is rejected (storing it
+        would evict everything for an entry that can never pay off);
+        otherwise LRU entries are evicted until the budget holds.
+        """
+        if result.nbytes > self.max_bytes:
+            with self._lock:
+                self._rejected += 1
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = result
+            self._bytes += result.nbytes
+            while self._bytes > self.max_bytes:
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
+                self._evictions += 1
+        return True
+
+    def evict_graph(self, fingerprint: str) -> int:
+        """Drop every cached result for one graph (registry eviction
+        cascades here); returns the number of entries removed."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == fingerprint]
+            for k in doomed:
+                self._bytes -= self._entries.pop(k).nbytes
+                self._evictions += 1
+            return len(doomed)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries.keys())
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "rejected": self._rejected,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hit_rate": (self._hits / lookups) if lookups else 0.0,
+            }

@@ -1,0 +1,142 @@
+"""Asyncio client for the detection service.
+
+A thin, honest wrapper over the JSONL protocol: every method is one
+request line and one response line. ``detect``/``upload`` raise
+:class:`ServeError` on error replies by default so straight-line code
+stays straight; pass ``raise_on_error=False`` (or use :meth:`request`)
+when you *want* the error replies — the load generator counts 503s as
+data, not failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.serve.protocol import (
+    DEFAULT_LINE_LIMIT,
+    decode,
+    encode,
+    graph_to_payload,
+)
+
+
+class ServeError(RuntimeError):
+    """An error reply from the server (carries code + status)."""
+
+    def __init__(self, response: Dict[str, Any]):
+        self.code = response.get("error", "internal")
+        self.status = response.get("status", 500)
+        self.response = response
+        super().__init__(
+            f"{self.code} ({self.status}): {response.get('message', '')}"
+        )
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.DetectionServer`.
+
+    Requests on one client are sequential (the protocol is one line in,
+    one line out per connection); open several clients for concurrency —
+    that is exactly what the bench harness does to model independent
+    callers.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, limit: int = DEFAULT_LINE_LIMIT
+    ) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request, return the raw response dict (never raises
+        on an error reply — only on transport failure)."""
+        async with self._lock:
+            self._writer.write(encode(message))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode(line)
+
+    async def _checked(
+        self, message: Dict[str, Any], raise_on_error: bool
+    ) -> Dict[str, Any]:
+        response = await self.request(message)
+        if raise_on_error and not response.get("ok"):
+            raise ServeError(response)
+        return response
+
+    # ------------------------------------------------------------------ #
+    async def ping(self) -> Dict[str, Any]:
+        return await self._checked({"op": "ping"}, True)
+
+    async def upload(
+        self, graph: CSRGraph, *, raise_on_error: bool = True
+    ) -> str:
+        """Register ``graph`` on the server; returns its fingerprint."""
+        message = {"op": "upload", **graph_to_payload(graph)}
+        response = await self._checked(message, raise_on_error)
+        return response.get("fingerprint", "")
+
+    async def detect(
+        self,
+        fingerprint: str,
+        config: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        include_assignment: bool = False,
+        timeout_s: Optional[float] = None,
+        no_cache: bool = False,
+        raise_on_error: bool = True,
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "detect", "fingerprint": fingerprint}
+        if config:
+            message["config"] = config
+        if seed is not None:
+            message["seed"] = seed
+        if include_assignment:
+            message["include_assignment"] = True
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        if no_cache:
+            message["no_cache"] = True
+        return await self._checked(message, raise_on_error)
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._checked({"op": "stats"}, True)
+
+    async def graphs(self) -> Dict[str, Any]:
+        return await self._checked({"op": "graphs"}, True)
+
+    async def evict(self, fingerprint: str) -> Dict[str, Any]:
+        return await self._checked(
+            {"op": "evict", "fingerprint": fingerprint}, True
+        )
+
+
+def assignment_array(response: Dict[str, Any]) -> np.ndarray:
+    """The assignment from an ``include_assignment=True`` detect reply."""
+    return np.asarray(response["assignment"], dtype=np.int64)

@@ -1,0 +1,382 @@
+"""Detection runners: where the server actually runs engines.
+
+The server never calls :func:`~repro.core.gala.gala` directly — it talks
+to a :class:`DetectionRunner`, the serving layer's analogue of the
+engine's ``Executor`` protocol: one seam, several runtimes behind it.
+
+* :class:`InlineRunner` runs the engine in a thread of the server
+  process. It exists for tests and smoke runs (zero startup cost, easy
+  to instrument) — but NumPy kernels hold the GIL for long stretches, so
+  an inline engine run stalls the event loop's intake. Not for traffic.
+* :class:`WorkerPool` runs engines in subprocesses. The asyncio loop
+  stays free to accept, shed, and answer cache hits while every core
+  crunches; a hung or runaway run is killed and its worker respawned
+  (per-request timeout and cancellation), so one poisoned request never
+  wedges the pool.
+
+Workers keep a small fingerprint-keyed graph cache, so a hot graph's
+payload crosses the process boundary once per worker, not once per
+request — the subprocess mirror of the server's
+:class:`~repro.serve.registry.GraphRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.gala import GalaConfig
+from repro.graph.csr import CSRGraph
+
+
+class DetectionFailed(Exception):
+    """The engine raised (bad config, worker crash): the request fails,
+    the pool survives."""
+
+
+class DetectionTimeout(DetectionFailed):
+    """The per-request timeout elapsed; the worker was killed."""
+
+
+class PoolClosed(RuntimeError):
+    """Submit after ``stop()``."""
+
+
+def result_payload(result) -> Dict[str, Any]:
+    """The plain-dict result shape every runner returns (and workers ship
+    over the pipe): exactly what :class:`~repro.serve.cache.CachedResult`
+    needs, nothing an asyncio server has to introspect."""
+    levels = getattr(result, "levels", None)
+    if levels is not None:
+        iterations = sum(len(lvl.phase1.history) for lvl in levels)
+        num_levels = len(levels)
+    else:
+        iterations = int(getattr(result, "num_iterations", 0))
+        num_levels = 1
+    return {
+        "communities": np.ascontiguousarray(result.communities, dtype=np.int64),
+        "modularity": float(result.modularity),
+        "num_levels": num_levels,
+        "iterations": iterations,
+    }
+
+
+# --------------------------------------------------------------------- #
+# the runner seam
+# --------------------------------------------------------------------- #
+class DetectionRunner(ABC):
+    """One detection request in, one plain result dict out."""
+
+    async def start(self) -> None:
+        """Bring up whatever the runner needs (worker processes)."""
+
+    @abstractmethod
+    async def run(
+        self,
+        graph: CSRGraph,
+        config: GalaConfig,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run one detection; raises :class:`DetectionFailed` /
+        :class:`DetectionTimeout`. Cancellation must leave the runner
+        usable for the next request."""
+
+    async def stop(self) -> None:
+        """Tear down (idempotent)."""
+
+    def stats(self) -> Dict[str, Any]:
+        return {}
+
+
+class InlineRunner(DetectionRunner):
+    """Run engines in-process (a worker thread). Tests and smoke only —
+    see the module docstring for why this cannot serve traffic."""
+
+    def __init__(self):
+        self.runs = 0
+
+    async def run(
+        self,
+        graph: CSRGraph,
+        config: GalaConfig,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        from repro.core.gala import gala
+
+        self.runs += 1
+        loop = asyncio.get_running_loop()
+
+        def _work() -> Dict[str, Any]:
+            return result_payload(gala(graph, config))
+
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(None, _work), timeout
+            )
+        except asyncio.TimeoutError:
+            # the thread keeps running (no way to kill it) — precisely
+            # the deficiency the subprocess pool exists to fix
+            raise DetectionTimeout(
+                f"inline detection exceeded {timeout}s (thread not reclaimed)"
+            ) from None
+        except (DetectionFailed, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            raise DetectionFailed(f"{type(exc).__name__}: {exc}") from exc
+
+    def stats(self) -> Dict[str, Any]:
+        return {"kind": "inline", "runs": self.runs}
+
+
+# --------------------------------------------------------------------- #
+# subprocess workers
+# --------------------------------------------------------------------- #
+def _worker_main(conn, graph_cache_size: int) -> None:
+    """Worker loop: receive jobs on ``conn``, run GALA, reply.
+
+    Runs in a fresh (spawned) interpreter. SIGINT is ignored — a Ctrl+C
+    in the server's terminal reaches the whole process group, and
+    shutdown must stay the parent's decision (it drains, then sends
+    ``stop``)."""
+    import signal
+    from collections import OrderedDict
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    from repro.core.gala import GalaConfig, gala
+
+    graphs: "OrderedDict[str, CSRGraph]" = OrderedDict()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg.get("op")
+        if op == "stop":
+            break
+        if op == "ping":
+            conn.send({"ok": True, "pid": os.getpid()})
+            continue
+        try:
+            fp = msg["fingerprint"]
+            payload = msg.get("graph")
+            if payload is not None:
+                graphs[fp] = CSRGraph(
+                    indptr=payload["indptr"],
+                    indices=payload["indices"],
+                    weights=payload["weights"],
+                    self_weight=payload["self_weight"],
+                    name=payload["name"],
+                    _fingerprint=fp,
+                )
+                while len(graphs) > graph_cache_size:
+                    graphs.popitem(last=False)
+            graph = graphs.get(fp)
+            if graph is None:
+                conn.send({"ok": False, "need_graph": True})
+                continue
+            graphs.move_to_end(fp)
+            result = gala(graph, GalaConfig(**msg["config"]))
+            reply = result_payload(result)
+            reply["ok"] = True
+            conn.send(reply)
+        except Exception as exc:  # noqa: BLE001 - the reply IS the report
+            conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+
+
+class _WorkerHandle:
+    """One subprocess + its pipe + the fingerprints it already holds."""
+
+    def __init__(self, ctx, graph_cache_size: int):
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child, graph_cache_size),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self.known: set[str] = set()
+
+    def send(self, msg: Dict[str, Any]) -> None:
+        self.conn.send(msg)
+
+    def recv(self) -> Dict[str, Any]:
+        """Blocking receive (called from an executor thread). A killed
+        worker reads as a crash report, not an exception — the future may
+        already be cancelled and must not warn."""
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError):
+            return {"ok": False, "crashed": True}
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=1.0)
+
+    def stop(self) -> None:
+        """Polite shutdown for an idle worker."""
+        try:
+            self.conn.send({"op": "stop"})
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout=2.0)
+        self.kill()
+
+
+class WorkerPool(DetectionRunner):
+    """Fixed-size pool of subprocess workers behind the runner seam.
+
+    Concurrency equals ``workers``; callers beyond that wait on the idle
+    queue (the server's admission control bounds how many may wait).
+    ``spawn`` is the default start method: the server runs an event loop
+    with helper threads, and forking a threaded process is a lock-state
+    lottery the serving layer refuses to play.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        mp_context: str = "spawn",
+        worker_graph_cache: int = 8,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.worker_graph_cache = worker_graph_cache
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._idle: "asyncio.Queue[_WorkerHandle]" = asyncio.Queue()
+        self._handles: list[_WorkerHandle] = []
+        self._closed = False
+        self.respawns = 0
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Spawn the workers and wait until each answers a ping — after
+        this, the first request pays no interpreter-boot latency."""
+        loop = asyncio.get_running_loop()
+        for _ in range(self.workers):
+            handle = _WorkerHandle(self._ctx, self.worker_graph_cache)
+            self._handles.append(handle)
+            self._idle.put_nowait(handle)
+        for handle in self._handles:
+            handle.send({"op": "ping"})
+            reply = await loop.run_in_executor(None, handle.recv)
+            if not reply.get("ok"):
+                raise RuntimeError("worker failed to boot")
+
+    def _graph_payload(self, graph: CSRGraph) -> Dict[str, Any]:
+        return {
+            "indptr": graph.indptr,
+            "indices": graph.indices,
+            "weights": graph.weights,
+            "self_weight": graph.self_weight,
+            "name": graph.name,
+        }
+
+    def _replace(self, handle: _WorkerHandle) -> None:
+        """Kill a wedged worker and seat a fresh one in its slot."""
+        handle.kill()
+        self._handles.remove(handle)
+        if self._closed:
+            return
+        fresh = _WorkerHandle(self._ctx, self.worker_graph_cache)
+        self._handles.append(fresh)
+        self._idle.put_nowait(fresh)
+        self.respawns += 1
+
+    async def run(
+        self,
+        graph: CSRGraph,
+        config: GalaConfig,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        if self._closed:
+            raise PoolClosed("worker pool is stopped")
+        handle = await self._idle.get()
+        loop = asyncio.get_running_loop()
+        fp = graph.fingerprint
+        job = {
+            "op": "detect",
+            "fingerprint": fp,
+            "config": dataclasses.asdict(config),
+        }
+        if fp not in handle.known:
+            job["graph"] = self._graph_payload(graph)
+        try:
+            handle.send(job)
+            reply = await asyncio.wait_for(
+                loop.run_in_executor(None, handle.recv), timeout
+            )
+        except asyncio.TimeoutError:
+            self._replace(handle)
+            raise DetectionTimeout(
+                f"detection exceeded {timeout}s; worker killed"
+            ) from None
+        except asyncio.CancelledError:
+            # cancellation (client gone, server draining) reclaims the
+            # core immediately: kill the run, keep the pool whole
+            self._replace(handle)
+            raise
+        except (OSError, ValueError) as exc:
+            self._replace(handle)
+            raise DetectionFailed(f"worker pipe failed: {exc}") from exc
+
+        if reply.get("crashed"):
+            self._replace(handle)
+            raise DetectionFailed("worker crashed mid-run")
+        if reply.get("need_graph"):
+            # the worker's LRU graph cache evicted this fingerprint while
+            # our known-set still listed it; re-submit with the payload
+            handle.known.discard(fp)
+            self._idle.put_nowait(handle)
+            return await self.run(graph, config, timeout=timeout)
+        handle.known.add(fp)
+        self._idle.put_nowait(handle)
+        if not reply.get("ok"):
+            raise DetectionFailed(reply.get("error", "unknown worker error"))
+        return {
+            "communities": reply["communities"],
+            "modularity": reply["modularity"],
+            "num_levels": reply["num_levels"],
+            "iterations": reply["iterations"],
+        }
+
+    async def stop(self) -> None:
+        """Stop all workers: polite for idle ones, kill for busy ones."""
+        if self._closed:
+            return
+        self._closed = True
+        idle: list[_WorkerHandle] = []
+        while not self._idle.empty():
+            idle.append(self._idle.get_nowait())
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(loop.run_in_executor(None, h.stop) for h in idle)
+        )
+        for handle in list(self._handles):
+            if handle not in idle:
+                handle.kill()
+        self._handles.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "kind": "subprocess",
+            "workers": self.workers,
+            "idle": self._idle.qsize(),
+            "respawns": self.respawns,
+        }

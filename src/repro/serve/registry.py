@@ -1,0 +1,140 @@
+"""Graph registry: content-addressed storage for uploaded graphs.
+
+Clients upload a graph once and refer to it by its CSR sha256
+fingerprint (:attr:`~repro.graph.csr.CSRGraph.fingerprint`) forever
+after — the serving layer never ships adjacency arrays per request. The
+registry is content-addressed, so re-uploading an identical graph is a
+no-op that returns the same fingerprint, and two clients uploading the
+same graph share one copy.
+
+Eviction is LRU under an optional byte budget (lookups and uploads both
+touch an entry). The registry is thread-safe: the asyncio server runs
+lookups on its event loop while worker-feed threads read payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.graph.csr import CSRGraph
+
+
+def graph_nbytes(graph: CSRGraph) -> int:
+    """Resident size of a graph's payload arrays."""
+    return int(
+        graph.indptr.nbytes
+        + graph.indices.nbytes
+        + graph.weights.nbytes
+        + graph.self_weight.nbytes
+    )
+
+
+@dataclass
+class RegisteredGraph:
+    """One registry entry."""
+
+    graph: CSRGraph
+    fingerprint: str
+    nbytes: int
+
+    def describe(self) -> Dict[str, Any]:
+        g = self.graph
+        return {
+            "fingerprint": self.fingerprint,
+            "name": g.name,
+            "n": int(g.n),
+            "num_edges": int(g.num_edges),
+            "nbytes": self.nbytes,
+        }
+
+
+class GraphRegistry:
+    """Fingerprint-keyed LRU store of :class:`CSRGraph` instances."""
+
+    def __init__(self, max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, RegisteredGraph]" = OrderedDict()
+        self._bytes = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def put(self, graph: CSRGraph) -> str:
+        """Register ``graph``; returns its fingerprint.
+
+        Content-addressed: registering a graph that is already resident
+        (same fingerprint) touches the existing entry and returns — the
+        stored copy is kept, so fingerprints held by in-flight requests
+        stay valid.
+        """
+        fp = graph.fingerprint
+        with self._lock:
+            if fp in self._entries:
+                self._entries.move_to_end(fp)
+                return fp
+            entry = RegisteredGraph(graph=graph, fingerprint=fp,
+                                    nbytes=graph_nbytes(graph))
+            self._entries[fp] = entry
+            self._bytes += entry.nbytes
+            self._evict_over_budget(keep=fp)
+        return fp
+
+    def get(self, fingerprint: str) -> Optional[CSRGraph]:
+        """Look up a graph by fingerprint (touches LRU order)."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return None
+            self._entries.move_to_end(fingerprint)
+            return entry.graph
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop one graph explicitly; returns whether it was resident."""
+        with self._lock:
+            entry = self._entries.pop(fingerprint, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.nbytes
+            self._evictions += 1
+            return True
+
+    def _evict_over_budget(self, keep: str) -> None:
+        """Drop LRU entries until under budget (never the ``keep`` key —
+        a graph larger than the whole budget still has to serve the
+        request that uploaded it)."""
+        if self.max_bytes is None:
+            return
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            lru = next(iter(self._entries))
+            if lru == keep:
+                break
+            entry = self._entries.pop(lru)
+            self._bytes -= entry.nbytes
+            self._evictions += 1
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Describe resident graphs, most recently used last."""
+        with self._lock:
+            return [e.describe() for e in self._entries.values()]
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "graphs": len(self._entries),
+                "bytes": self._bytes,
+                "evictions": self._evictions,
+            }

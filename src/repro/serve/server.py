@@ -1,0 +1,393 @@
+"""The asyncio detection server: registry + cache + runner, one loop.
+
+Request lifecycle (``detect``)::
+
+    parse → registry lookup → result-cache lookup ──hit──→ reply (no engine)
+                                   │miss
+                                   ▼
+                       admission control (bounded by max_pending)
+                          │admitted              │over budget / draining
+                          ▼                      ▼
+                    runner (subprocess pool)   shed: 503, immediately
+                          │
+                          ▼
+                    cache store → reply
+
+The event loop only ever parses JSON, walks dictionaries, and ships
+bytes; every engine run happens behind the
+:class:`~repro.serve.pool.DetectionRunner` seam in a subprocess. That is
+what keeps intake responsive at overload: a full pool means new work is
+*shed* with a ``503`` in microseconds, not queued into an unbounded
+backlog — clients with a retry policy get honest backpressure, and the
+server's memory stays flat at any offered load.
+
+Determinism makes the cache exact: a hit is the bit-identical assignment
+the engine would recompute, so repeated-graph traffic (the common case
+for interactive workloads) costs one engine run ever. Hit/miss/eviction
+counters and request latency histograms live in a
+:class:`~repro.obs.metrics.MetricsRegistry`; :meth:`DetectionServer.manifest`
+snapshots them into a :class:`~repro.obs.manifest.RunManifest` on drain
+so ``repro report`` renders a serving session like any other run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.manifest import RunManifest, _config_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import CachedResult, ResultCache
+from repro.serve.pool import (
+    DetectionFailed,
+    DetectionRunner,
+    DetectionTimeout,
+    InlineRunner,
+    WorkerPool,
+)
+from repro.serve.protocol import (
+    DEFAULT_LINE_LIMIT,
+    KNOWN_OPS,
+    ProtocolError,
+    decode,
+    detect_response,
+    encode,
+    error_response,
+    graph_from_payload,
+    parse_detect_config,
+    parse_optional_number,
+    require_fingerprint,
+)
+from repro.serve.registry import GraphRegistry
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one serving session (all byte/second budgets explicit)."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (reported by :meth:`DetectionServer.start`)
+    port: int = 0
+    #: subprocess workers — the engine-run concurrency
+    workers: int = 2
+    #: ``"subprocess"`` (production) or ``"inline"`` (tests/smoke; see
+    #: :class:`~repro.serve.pool.InlineRunner` for why it can't serve traffic)
+    runner: str = "subprocess"
+    #: result-cache byte budget (stored assignments)
+    cache_bytes: int = 64 << 20
+    #: graph-registry byte budget (None = unbounded)
+    registry_bytes: Optional[int] = None
+    #: admission bound: engine runs in flight (busy workers + waiting);
+    #: beyond it, detect requests are shed with a 503
+    max_pending: int = 32
+    #: per-request engine timeout (None = no limit); requests may lower
+    #: it per-call with ``timeout_s``
+    request_timeout_s: Optional[float] = 120.0
+    #: graceful-drain budget: in-flight runs get this long to finish
+    #: before they are cancelled (and their workers killed)
+    drain_timeout_s: float = 10.0
+    #: per-worker graph LRU size (see pool docstring)
+    worker_graph_cache: int = 8
+    #: stream-reader per-line cap (uploads are one JSON line)
+    line_limit: int = DEFAULT_LINE_LIMIT
+    #: multiprocessing start method for the pool
+    mp_context: str = "spawn"
+
+
+class DetectionServer:
+    """Long-running detection-as-a-service endpoint."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        runner: Optional[DetectionRunner] = None,
+    ):
+        self.config = config or ServeConfig()
+        cfg = self.config
+        if cfg.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.registry = GraphRegistry(max_bytes=cfg.registry_bytes)
+        self.cache = ResultCache(max_bytes=cfg.cache_bytes)
+        if runner is not None:
+            self.runner = runner
+        elif cfg.runner == "inline":
+            self.runner = InlineRunner()
+        elif cfg.runner == "subprocess":
+            self.runner = WorkerPool(
+                workers=cfg.workers,
+                mp_context=cfg.mp_context,
+                worker_graph_cache=cfg.worker_graph_cache,
+            )
+        else:
+            raise ValueError(
+                f"unknown runner {cfg.runner!r}; expected 'subprocess' or 'inline'"
+            )
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._c_requests = m.counter("serve/requests_total")
+        self._c_hits = m.counter("serve/cache_hits")
+        self._c_misses = m.counter("serve/cache_misses")
+        self._c_shed = m.counter("serve/shed_total")
+        self._c_timeouts = m.counter("serve/timeouts")
+        self._c_errors = m.counter("serve/errors")
+        self._c_uploads = m.counter("serve/uploads")
+        self._g_inflight = m.gauge("serve/inflight")
+        self._h_latency = m.histogram("serve/latency_ms")
+        self._h_hit = m.histogram("serve/hit_latency_ms")
+        self._h_miss = m.histogram("serve/miss_latency_ms")
+
+        self._inflight = 0
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._started_monotonic: Optional[float] = None
+        self._drained_clean: Optional[bool] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> Tuple[str, int]:
+        """Boot the runner and bind the socket; returns (host, port)."""
+        await self.runner.start()
+        cfg = self.config
+        self._server = await asyncio.start_server(
+            self._on_connection, cfg.host, cfg.port, limit=cfg.line_limit
+        )
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]
+        self._started_monotonic = time.monotonic()
+        return cfg.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def drain(self) -> bool:
+        """Graceful shutdown: stop accepting, let in-flight runs finish
+        (up to ``drain_timeout_s``), cancel stragglers, stop the pool.
+        Returns True when every in-flight request completed in budget."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        clean = self._inflight == 0
+        if not clean:
+            for task in list(self._conn_tasks):
+                task.cancel()
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.runner.stop()
+        self._drained_clean = clean
+        return clean
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # line exceeded the reader limit: refuse and hang up
+                    writer.write(encode(error_response(
+                        "bad_request", "request line exceeds server limit"
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            # close without awaiting: the transport flushes and closes on
+            # the loop, and a handler that lingers in wait_closed() shows
+            # up as teardown noise when the loop shuts down
+            writer.close()
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        t0 = time.perf_counter()
+        self._c_requests.add(1)
+        try:
+            message = decode(line)
+            op = message.get("op")
+            if op == "detect":
+                return await self._detect(message, t0)
+            if op == "ping":
+                return {"ok": True, "op": "ping", "draining": self._draining}
+            if op == "upload":
+                return self._upload(message)
+            if op == "stats":
+                return self._stats()
+            if op == "graphs":
+                return {"ok": True, "graphs": self.registry.entries()}
+            if op == "evict":
+                return self._evict(message)
+            raise ProtocolError(
+                "bad_request", f"unknown op {op!r}; expected one of {KNOWN_OPS}"
+            )
+        except ProtocolError as exc:
+            self._c_errors.add(1)
+            return error_response(exc.code, str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - a reply, not a crash
+            self._c_errors.add(1)
+            return error_response("internal", f"{type(exc).__name__}: {exc}")
+        finally:
+            self._h_latency.observe((time.perf_counter() - t0) * 1000.0)
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+    def _upload(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        graph = graph_from_payload(message)
+        fingerprint = self.registry.put(graph)
+        self._c_uploads.add(1)
+        return {
+            "ok": True,
+            "fingerprint": fingerprint,
+            "name": graph.name,
+            "n": int(graph.n),
+            "num_edges": int(graph.num_edges),
+        }
+
+    def _evict(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        fingerprint = require_fingerprint(message)
+        evicted = self.registry.evict(fingerprint)
+        dropped = self.cache.evict_graph(fingerprint)
+        return {"ok": True, "evicted": evicted, "results_dropped": dropped}
+
+    def _stats(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "serve": self.metrics.snapshot(),
+            "cache": self.cache.stats(),
+            "registry": self.registry.stats(),
+            "pool": self.runner.stats(),
+            "inflight": self._inflight,
+            "draining": self._draining,
+        }
+
+    async def _detect(self, message: Dict[str, Any], t0: float) -> Dict[str, Any]:
+        fingerprint = require_fingerprint(message)
+        config = parse_detect_config(message)
+        include_assignment = bool(message.get("include_assignment", False))
+        graph = self.registry.get(fingerprint)
+        if graph is None:
+            return error_response(
+                "not_found", f"no graph with fingerprint {fingerprint[:16]}…"
+            )
+        use_cache = not bool(message.get("no_cache", False))
+        key = ResultCache.key(fingerprint, config)
+        if use_cache:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._c_hits.add(1)
+                self._h_hit.observe((time.perf_counter() - t0) * 1000.0)
+                return detect_response(
+                    True, hit, include_assignment, fingerprint
+                )
+            self._c_misses.add(1)
+
+        # ---- admission control: bounded engine backlog ---------------- #
+        if self._draining:
+            return error_response("draining", "server is draining")
+        if self._inflight >= self.config.max_pending:
+            self._c_shed.add(1)
+            return error_response(
+                "overloaded",
+                f"engine backlog full ({self._inflight} in flight)",
+                retry=True,
+            )
+        timeout = parse_optional_number(
+            message, "timeout_s", self.config.request_timeout_s
+        )
+        self._inflight += 1
+        self._g_inflight.set(self._inflight)
+        try:
+            raw = await self.runner.run(graph, config, timeout=timeout)
+        except DetectionTimeout as exc:
+            self._c_timeouts.add(1)
+            return error_response("timeout", str(exc))
+        except DetectionFailed as exc:
+            self._c_errors.add(1)
+            return error_response("internal", str(exc))
+        finally:
+            self._inflight -= 1
+            self._g_inflight.set(self._inflight)
+
+        result = CachedResult.from_result(raw)
+        if use_cache:
+            self.cache.put(key, result)
+        self._h_miss.observe((time.perf_counter() - t0) * 1000.0)
+        return detect_response(False, result, include_assignment, fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def bridge_metrics(self) -> None:
+        """Fold the cache/registry/pool counters into the registry as
+        gauges (cumulative values, sim-profiler bridge semantics)."""
+        self.metrics.bridge_result_cache(self.cache)
+        for name, value in self.registry.stats().items():
+            self.metrics.gauge(f"serve/registry/{name}").set(value)
+        pool = self.runner.stats()
+        for name in ("workers", "respawns", "idle", "runs"):
+            if name in pool:
+                self.metrics.gauge(f"serve/pool/{name}").set(pool[name])
+
+    def manifest(self, command: str = "serve") -> RunManifest:
+        """Snapshot the session as a :class:`RunManifest` (written on
+        drain by the CLI; renders via ``repro report``)."""
+        self.bridge_metrics()
+        cache = self.cache.stats()
+        snapshot = self.metrics.snapshot()
+        latency = snapshot["histograms"].get("serve/latency_ms", {})
+        hit_lat = snapshot["histograms"].get("serve/hit_latency_ms", {})
+        miss_lat = snapshot["histograms"].get("serve/miss_latency_ms", {})
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        manifest = RunManifest(
+            command=command,
+            runtime="serve",
+            config=_config_dict(self.config),
+            metrics=snapshot,
+        )
+        manifest.result = {
+            "requests": int(self._c_requests.value),
+            "cache_hits": int(cache["hits"]),
+            "cache_misses": int(cache["misses"]),
+            "cache_hit_rate": cache["hit_rate"],
+            "shed": int(self._c_shed.value),
+            "timeouts": int(self._c_timeouts.value),
+            "errors": int(self._c_errors.value),
+            "latency_p50_ms": latency.get("p50", 0.0),
+            "latency_p99_ms": latency.get("p99", 0.0),
+            "hit_latency_p50_ms": hit_lat.get("p50", 0.0),
+            "miss_latency_p50_ms": miss_lat.get("p50", 0.0),
+            "uptime_s": uptime,
+            "drained_clean": self._drained_clean,
+        }
+        return manifest

@@ -1,0 +1,78 @@
+"""CSR fingerprinting: content addressing, lazy caching, manifest reuse."""
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.graph.fingerprint import (
+    SHORT_DIGEST_LEN,
+    compute_csr_sha256,
+    csr_sha256,
+    graph_fingerprint,
+)
+from repro.graph.generators import ring_of_cliques, two_triangles
+
+
+class TestFingerprint:
+    def test_lazy_and_cached(self):
+        graph = two_triangles()
+        assert graph._fingerprint is None  # not computed at build time
+        fp = graph.fingerprint
+        assert graph._fingerprint == fp  # computed once, stored
+        assert graph.fingerprint is graph._fingerprint
+        assert fp == compute_csr_sha256(graph)
+        assert len(fp) == 64 and int(fp, 16) >= 0
+
+    def test_identical_graphs_share_fingerprint(self):
+        assert two_triangles().fingerprint == two_triangles().fingerprint
+
+    def test_structure_changes_fingerprint(self):
+        a = ring_of_cliques(3, 4)
+        b = ring_of_cliques(4, 4)
+        assert a.fingerprint != b.fingerprint
+
+    def test_weights_change_fingerprint(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        a = from_edge_array(3, src, dst, np.array([1.0, 1.0]))
+        b = from_edge_array(3, src, dst, np.array([1.0, 2.0]))
+        assert a.fingerprint != b.fingerprint
+
+    def test_edge_order_canonicalized_by_builder(self):
+        """The builder sorts adjacency, so input edge order is identity-
+        irrelevant — the property content addressing in the serving layer
+        relies on."""
+        a = from_edge_array(4, np.array([0, 1, 2]), np.array([1, 2, 3]),
+                            np.ones(3))
+        b = from_edge_array(4, np.array([2, 0, 1]), np.array([3, 1, 2]),
+                            np.ones(3))
+        assert a.fingerprint == b.fingerprint
+
+    def test_csr_sha256_prefers_cache(self):
+        graph = two_triangles()
+        object.__setattr__(graph, "_fingerprint", "sentinel")
+        assert csr_sha256(graph) == "sentinel"
+
+
+class TestGraphFingerprintDict:
+    def test_shape_and_short_digest(self):
+        graph = two_triangles()
+        d = graph_fingerprint(graph)
+        assert d["name"] == graph.name
+        assert d["n"] == graph.n
+        assert d["num_edges"] == graph.num_edges
+        assert d["total_weight"] == graph.total_weight
+        assert d["sha256"] == graph.fingerprint[:SHORT_DIGEST_LEN]
+
+    def test_manifest_reexport(self):
+        """obs.manifest re-exports the graph-layer helper (the refactor's
+        compatibility seam)."""
+        from repro.obs.manifest import graph_fingerprint as from_manifest
+
+        assert from_manifest is graph_fingerprint
+
+    def test_fingerprint_hidden_from_repr(self):
+        graph = two_triangles()
+        graph.fingerprint
+        assert isinstance(graph, CSRGraph)
+        assert "_fingerprint" not in repr(graph)

@@ -1,0 +1,97 @@
+"""Graph registry: content addressing, LRU eviction under a byte budget."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import ring_of_cliques
+from repro.serve.registry import GraphRegistry, graph_nbytes
+
+
+@pytest.fixture
+def graphs():
+    """Three distinct small graphs (distinct fingerprints)."""
+    return [ring_of_cliques(k, 5) for k in (3, 4, 5)]
+
+
+class TestContentAddressing:
+    def test_put_returns_fingerprint(self, graphs):
+        reg = GraphRegistry()
+        fp = reg.put(graphs[0])
+        assert fp == graphs[0].fingerprint
+        assert fp in reg
+        assert reg.get(fp) is graphs[0]
+
+    def test_reupload_is_noop(self, graphs):
+        reg = GraphRegistry()
+        fp1 = reg.put(graphs[0])
+        # a structurally identical graph registers to the same entry
+        twin = ring_of_cliques(3, 5)
+        fp2 = reg.put(twin)
+        assert fp1 == fp2
+        assert len(reg) == 1
+        # the original copy is kept (in-flight fingerprints stay valid)
+        assert reg.get(fp1) is graphs[0]
+
+    def test_get_unknown(self):
+        assert GraphRegistry().get("0" * 64) is None
+
+    def test_explicit_evict(self, graphs):
+        reg = GraphRegistry()
+        fp = reg.put(graphs[0])
+        assert reg.evict(fp) is True
+        assert reg.evict(fp) is False
+        assert reg.get(fp) is None
+
+
+class TestByteBudget:
+    def test_lru_eviction_under_budget(self, graphs):
+        sizes = [graph_nbytes(g) for g in graphs]
+        # room for exactly the two largest graphs
+        reg = GraphRegistry(max_bytes=sizes[1] + sizes[2])
+        fps = [reg.put(g) for g in graphs]
+        assert len(reg) == 2
+        assert fps[0] not in reg  # LRU evicted
+        assert fps[1] in reg and fps[2] in reg
+        assert reg.stats()["evictions"] == 1
+        assert reg.stats()["bytes"] <= sizes[1] + sizes[2]
+
+    def test_get_refreshes_lru(self, graphs):
+        sizes = [graph_nbytes(g) for g in graphs]
+        reg = GraphRegistry(max_bytes=sizes[0] + sizes[1] + sizes[2])
+        fps = [reg.put(g) for g in graphs]
+        reg.get(fps[0])  # touch the oldest
+        # now an over-budget insert evicts graphs[1], not graphs[0]
+        big = ring_of_cliques(6, 5)
+        reg.put(big)
+        assert fps[0] in reg
+        assert fps[1] not in reg
+
+    def test_oversized_graph_still_resident(self, graphs):
+        # a graph larger than the whole budget must still serve the
+        # request that uploaded it
+        reg = GraphRegistry(max_bytes=1)
+        fp = reg.put(graphs[0])
+        assert reg.get(fp) is graphs[0]
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            GraphRegistry(max_bytes=0)
+
+
+class TestIntrospection:
+    def test_entries_shape(self, graphs):
+        reg = GraphRegistry()
+        reg.put(graphs[0])
+        (entry,) = reg.entries()
+        assert entry["fingerprint"] == graphs[0].fingerprint
+        assert entry["n"] == graphs[0].n
+        assert entry["num_edges"] == graphs[0].num_edges
+        assert entry["nbytes"] == graph_nbytes(graphs[0])
+
+    def test_stats_bytes_track_contents(self, graphs):
+        reg = GraphRegistry()
+        fps = [reg.put(g) for g in graphs]
+        assert reg.stats()["bytes"] == sum(graph_nbytes(g) for g in graphs)
+        reg.evict(fps[1])
+        expected = graph_nbytes(graphs[0]) + graph_nbytes(graphs[2])
+        assert reg.stats()["bytes"] == expected

@@ -1,0 +1,111 @@
+"""Signal handling of the long-running CLI commands.
+
+``repro detect`` interrupted mid-run must flush its observability
+artifacts, write a *partial* manifest, and exit ``128 + signum`` — no
+traceback. ``repro serve`` must drain in-flight work, write its session
+manifest, and exit 0. Both are subprocess tests: signal disposition is
+process-global state that must not leak into the test runner.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.graph.generators import rmat_graph
+from repro.graph.io import save_edge_list
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (REPO_SRC, env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def _spawn(*args: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+
+
+@pytest.fixture(scope="module")
+def big_graph_file(tmp_path_factory):
+    """Big enough that a gpusim-backend run comfortably outlives the
+    signal (the simulated GPU is orders of magnitude slower than the
+    vectorized backend, which makes the interrupt timing deterministic)."""
+    path = tmp_path_factory.mktemp("signals") / "big.txt"
+    save_edge_list(rmat_graph(12, edge_factor=8, seed=3), path)
+    return str(path)
+
+
+@pytest.mark.parametrize("signum,expect_code", [
+    (signal.SIGINT, 130),
+    (signal.SIGTERM, 143),
+])
+def test_detect_interrupted_flushes_artifacts(
+    big_graph_file, tmp_path, signum, expect_code
+):
+    manifest = tmp_path / "partial.json"
+    metrics = tmp_path / "metrics.jsonl"
+    proc = _spawn("detect", big_graph_file, "--backend", "gpusim",
+                  "--manifest", str(manifest), "--metrics", str(metrics))
+    # interrupt once the engine is actually running
+    for line in proc.stdout:
+        if line.startswith("loaded"):
+            time.sleep(0.3)
+            proc.send_signal(signum)
+            break
+    out, _ = proc.communicate(timeout=60)
+    assert proc.returncode == expect_code, out
+    assert "Traceback" not in out
+    assert "interrupted" in out
+
+    data = json.loads(manifest.read_text())
+    assert data["result"]["partial"] is True
+    assert data["result"]["signal"] == signal.Signals(signum).name
+    assert data["graph"]["name"]  # identity was captured before the cut
+    assert metrics.exists()  # the obs stream was flushed, not abandoned
+
+
+def test_detect_uninterrupted_still_exits_zero(tmp_path):
+    """The signal scaffolding must not perturb the happy path."""
+    path = tmp_path / "small.txt"
+    save_edge_list(rmat_graph(8, edge_factor=4, seed=1), path)
+    proc = _spawn("detect", str(path))
+    out, _ = proc.communicate(timeout=120)
+    assert proc.returncode == 0, out
+    assert "modularity" in out
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+def test_serve_drains_and_writes_manifest(tmp_path, signum):
+    graph_file = tmp_path / "g.txt"
+    save_edge_list(rmat_graph(8, edge_factor=4, seed=2), graph_file)
+    manifest = tmp_path / "serve.json"
+    proc = _spawn("serve", "--port", "0", "--runner", "inline",
+                  "--graph", str(graph_file), "--manifest", str(manifest))
+    for line in proc.stdout:
+        if line.startswith("serving on"):
+            proc.send_signal(signum)
+            break
+    out, _ = proc.communicate(timeout=60)
+    assert proc.returncode == 0, out
+    assert "Traceback" not in out
+    assert "draining" in out
+
+    data = json.loads(manifest.read_text())
+    assert data["runtime"] == "serve"
+    assert data["result"]["drained_clean"] is True
+    assert data["metrics"]["gauges"]["serve/registry/graphs"] == 1
