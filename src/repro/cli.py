@@ -34,7 +34,7 @@ import numpy as np
 from repro import GalaConfig, gala, leiden
 from repro.errors import KernelUnavailableError
 from repro.graph.generators import lfr_graph, LFRParams, rmat_graph
-from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.io import load_graph, save_edge_list
 from repro.graph.stats import compute_stats
 from repro.metrics import coverage, mean_conductance
 
@@ -85,9 +85,23 @@ def _graceful_signals():
 
 def _add_detect(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("detect", help="detect communities with GALA")
-    p.add_argument("graph", help="edge-list file (whitespace separated)")
+    p.add_argument("graph",
+                   help="edge-list file (whitespace separated), .npz graph, "
+                        "or on-disk graph-store directory (see docs/scale.md)")
     p.add_argument("--weighted", action="store_true",
                    help="read a third column as edge weight")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map the graph instead of loading it into "
+                        "RAM; edge lists are converted once into a sibling "
+                        "<path>.store directory and reused (store "
+                        "directories are always memory-mapped)")
+    p.add_argument("--runtime", default="local",
+                   choices=["local", "multiprocess"],
+                   help="phase-1 runtime: local (single process) or "
+                        "multiprocess (one worker process per rank over "
+                        "shared memory; bit-identical to local)")
+    p.add_argument("--ranks", type=int, default=2,
+                   help="rank count for --runtime multiprocess")
     p.add_argument("--pruning", default="mg",
                    choices=["none", "sm", "rm", "pm", "mg", "mg+rm"],
                    help="pruning strategy (default: mg, GALA's)")
@@ -171,10 +185,17 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="graceful-drain budget on SIGINT/SIGTERM")
     p.add_argument("--graph", action="append", default=[], metavar="PATH",
-                   help="edge-list file to preload into the registry "
+                   help="edge-list file, .npz graph, or graph-store "
+                        "directory to preload into the registry "
                         "(repeatable; fingerprints are printed)")
     p.add_argument("--weighted", action="store_true",
                    help="preloaded graphs carry a third weight column")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map preloaded edge lists (converted once "
+                        "into sibling .store directories); store "
+                        "directories are always memory-mapped and their "
+                        "pages are shared with engine workers instead of "
+                        "copied into each worker heap")
     p.add_argument("--manifest", default=None, metavar="PATH",
                    help="write the serving-session manifest here on "
                         "shutdown (input to 'repro report')")
@@ -222,7 +243,7 @@ async def _serve_main(args: argparse.Namespace, cfg) -> int:
 
     server = DetectionServer(cfg)
     for path in args.graph:
-        graph = load_edge_list(path, weighted=args.weighted)
+        graph = load_graph(path, weighted=args.weighted, mmap=args.mmap)
         fingerprint = server.registry.put(graph)
         print(f"registered {graph.name}: n={graph.n} m={graph.num_edges} "
               f"fingerprint={fingerprint}", flush=True)
@@ -280,6 +301,11 @@ def _add_generate(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--scale", type=int, default=14, help="log2 vertices (rmat)")
     p.add_argument("--edge-factor", type=float, default=16.0, help="rmat edges/vertex")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--store", action="store_true",
+                   help="write an on-disk graph-store directory instead of "
+                        "an edge list (rmat only; generated chunk-by-chunk "
+                        "without ever materialising the edge arrays in RAM "
+                        "— see docs/scale.md)")
     p.add_argument("--ground-truth", default=None,
                    help="write LFR planted communities here")
 
@@ -348,8 +374,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
         # the converted-signal scope covers the whole command, artifact
         # tail included: a signal at any point exits 128+signum with
         # flushed artifacts instead of a mid-print kill or a traceback
+        if args.algorithm == "leiden" and args.runtime != "local":
+            print("error: --runtime multiprocess applies to the gala "
+                  "pipeline only (leiden runs locally)", file=sys.stderr)
+            return 2
         with _graceful_signals():
-            graph = load_edge_list(args.graph, weighted=args.weighted)
+            graph = load_graph(args.graph, weighted=args.weighted,
+                               mmap=args.mmap)
             print(f"loaded {graph.name}: n={graph.n} m={graph.num_edges}",
                   flush=True)
             with sess_cm as sess, san_cm as san:
@@ -368,6 +399,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
                         backend=args.backend,
                         gpusim_engine=args.gpusim_engine,
                         kernel=kernel,
+                        runtime=args.runtime,
+                        ranks=args.ranks,
                     )
                     try:
                         result = gala(graph, cfg)
@@ -487,7 +520,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    graph = load_edge_list(args.graph, weighted=args.weighted)
+    graph = load_graph(args.graph, weighted=args.weighted)
     s = compute_stats(graph)
     for key, value in s.as_row().items():
         print(f"{key:20s} {value}")
@@ -495,6 +528,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    if args.store:
+        if args.kind != "rmat":
+            print("error: --store supports rmat only", file=sys.stderr)
+            return 2
+        from repro.graph.generators import rmat_to_disk
+
+        graph = rmat_to_disk(args.scale, args.output,
+                             edge_factor=args.edge_factor, seed=args.seed)
+        print(f"wrote {graph.name} (n={graph.n}, m={graph.num_edges}, "
+              f"{graph.store_nbytes / (1 << 20):.1f} MiB on disk) "
+              f"to store {args.output}")
+        return 0
     if args.kind == "lfr":
         params = LFRParams(n=args.n, mu=args.mu, seed=args.seed)
         graph, truth = lfr_graph(params)

@@ -51,6 +51,14 @@ class GalaConfig:
     #: Python iteration — the bit-exact reference). ``None`` defers to the
     #: ``REPRO_GPUSIM_ENGINE`` environment variable.
     gpusim_engine: Optional[str] = None
+    #: phase-1 runtime: ``"local"`` (single process, the default) or
+    #: ``"multiprocess"`` (one worker process per rank over shared memory;
+    #: see :mod:`repro.multiprocess.runtime`). Multiprocess applies to the
+    #: first round only — coarsened levels are tiny and run locally. Every
+    #: runtime is bit-identical for every rank count.
+    runtime: str = "local"
+    #: rank count for the ``"multiprocess"`` runtime
+    ranks: int = 2
     #: gain convention (True = Grappolo/standard; see DESIGN.md)
     remove_self: bool = True
     #: resolution gamma (1.0 = classic modularity; >1 favours smaller
@@ -83,7 +91,7 @@ class GalaConfig:
     #: only here produce the same assignment — the result cache must
     #: treat them as the same key.
     EXECUTION_FIELDS = frozenset(
-        {"backend", "kernel", "gpusim_engine", "sanitize"}
+        {"backend", "kernel", "gpusim_engine", "sanitize", "runtime", "ranks"}
     )
 
     def cache_key(self) -> str:
@@ -178,11 +186,64 @@ def gala(
     return _run_gala(graph, cfg, san)
 
 
+def _multiprocess_runner(cfg: GalaConfig):
+    """Phase-1 runner routing round 0 through the multiprocess runtime.
+
+    Only the first round sees the original (large) graph; coarsened levels
+    are orders of magnitude smaller, where worker startup would dominate,
+    so they stay on the local path. Both paths are bit-identical.
+    """
+    from repro.core.phase1 import run_phase1 as run_local
+    from repro.multiprocess import MultiprocessConfig, run_multiprocess_phase1
+
+    mp_cfg = MultiprocessConfig(
+        num_ranks=cfg.ranks,
+        pruning=cfg.pruning,
+        weight_update=cfg.weight_update,
+        remove_self=cfg.remove_self,
+        resolution=cfg.resolution,
+        theta=cfg.theta,
+        patience=cfg.patience,
+        max_iterations=cfg.max_iterations,
+        seed=cfg.seed,
+    )
+
+    def runner(graph: CSRGraph, p1cfg: Phase1Config, round_idx: int):
+        if round_idx == 0:
+            return run_multiprocess_phase1(graph, mp_cfg)
+        return run_local(graph, p1cfg)
+
+    return runner, mp_cfg
+
+
 def _run_gala(
     graph: CSRGraph, cfg: GalaConfig, san
 ) -> Union[LouvainResult, Phase1Result]:
+    if cfg.runtime not in ("local", "multiprocess"):
+        raise ValueError(
+            f"unknown runtime {cfg.runtime!r}; expected 'local' or 'multiprocess'"
+        )
+    if cfg.runtime == "multiprocess" and cfg.backend != "vectorized":
+        raise ValueError(
+            "runtime='multiprocess' requires backend='vectorized' "
+            f"(got {cfg.backend!r}); rank workers run the NumPy kernel"
+        )
     p1cfg = cfg.phase1_config()
-    if cfg.phase1_only:
+    if cfg.runtime == "multiprocess":
+        runner, mp_cfg = _multiprocess_runner(cfg)
+        if cfg.phase1_only:
+            from repro.multiprocess import run_multiprocess_phase1
+
+            result = run_multiprocess_phase1(graph, mp_cfg)
+        else:
+            result = louvain(
+                graph,
+                phase1_config=p1cfg,
+                round_theta=cfg.round_theta,
+                max_rounds=cfg.max_rounds,
+                phase1_runner=runner,
+            )
+    elif cfg.phase1_only:
         result = run_phase1(graph, p1cfg)
     else:
         result = louvain(

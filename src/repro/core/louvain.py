@@ -11,6 +11,7 @@ paper describes in Section 2.2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -68,11 +69,19 @@ class LouvainResult:
         return comm
 
 
+#: pluggable per-round phase-1 entry point: ``(graph, config, round_idx)``
+#: -> :class:`Phase1Result`. Lets a caller route specific rounds through a
+#: different runtime (e.g. the multiprocess executor for round 0, where
+#: the graph is large, and the local path for the tiny coarsened levels).
+Phase1Runner = Callable[[CSRGraph, Phase1Config, int], Phase1Result]
+
+
 def louvain(
     graph: CSRGraph,
     phase1_config: Phase1Config | None = None,
     round_theta: float = 1e-6,
     max_rounds: int = 20,
+    phase1_runner: Optional[Phase1Runner] = None,
 ) -> LouvainResult:
     """Run the complete Louvain algorithm on ``graph``.
 
@@ -85,6 +94,11 @@ def louvain(
         Stop when a full round improves modularity by less than this.
     max_rounds:
         Hard cap on the number of coarsening rounds.
+    phase1_runner:
+        Optional replacement for :func:`run_phase1`, called as
+        ``phase1_runner(current, cfg, round_idx)``. Every runtime is
+        bit-identical, so swapping runners per round changes execution,
+        never the result.
     """
     cfg = phase1_config or Phase1Config()
     levels: list[LouvainLevel] = []
@@ -98,7 +112,11 @@ def louvain(
         with obs.span(
             "louvain/level", level=round_idx, n=current.n, edges=current.num_edges
         ):
-            p1 = run_phase1(current, cfg)
+            p1 = (
+                phase1_runner(current, cfg, round_idx)
+                if phase1_runner is not None
+                else run_phase1(current, cfg)
+            )
             with obs.span("louvain/coarsen", n=current.n):
                 coarse, mapping = coarsen_graph(current, p1.communities)
         levels.append(LouvainLevel(graph=current, phase1=p1, mapping=mapping))

@@ -121,6 +121,90 @@ def delta_update(
     return frontier
 
 
+def delta_update_chunked(
+    state: CommunityState,
+    prev_comm: np.ndarray,
+    moved: np.ndarray,
+    chunk_edges: int,
+    out: Optional[np.ndarray] = None,
+    release=None,
+) -> Optional[np.ndarray]:
+    """:func:`delta_update` in degree-bounded mover chunks.
+
+    Transient allocations (the gathered adjacency rows of the movers) stay
+    O(``chunk_edges``) instead of O(moved-degree-sum) — the difference
+    between "fits" and "not" when the graph is memory-mapped at 10⁷+
+    edges. Bit-identical to the one-shot path: step 1 targets only moved
+    vertices and step 2 only unmoved ones, so any single ``d_comm`` entry
+    receives all its contributions from one step, in mover-major adjacency
+    order — which ascending mover chunks preserve exactly. ``release``
+    (e.g. ``MmapCSRGraph.release_pages``) is called after each chunk so
+    resident file pages track the chunk size too.
+    """
+    g = state.graph
+    frontier = out if out is not None else np.zeros(g.n, dtype=bool)
+    movers = np.flatnonzero(moved)
+    if len(movers) == 0:
+        return frontier
+    from repro.graph.mmap_store import split_by_edges
+
+    degrees = g.degrees
+    mover_deg = degrees[movers]
+    if mover_deg.sum() == 0:
+        return frontier
+    for sub in split_by_edges(movers, degrees[movers], chunk_edges, release=release):
+        _delta_apply(state, prev_comm, moved, sub, degrees[sub], frontier)
+    return frontier
+
+
+def _delta_apply(
+    state: CommunityState,
+    prev_comm: np.ndarray,
+    moved: np.ndarray,
+    movers: np.ndarray,
+    counts: np.ndarray,
+    frontier: np.ndarray,
+) -> None:
+    """Both halves of the delta scheme for one mover subset (see
+    :func:`delta_update` for the algorithm; identical statement order)."""
+    g = state.graph
+    eidx = repeat_by_counts(g.indptr[movers], counts)
+    u = np.repeat(movers, counts)
+    v = np.asarray(g.indices[eidx])
+    w = np.asarray(g.weights[eidx])
+    frontier[v] = True
+    cv = state.comm[v]
+    joined = state.comm[u] == cv
+    state.d_comm[movers] = 0.0
+    if np.any(joined):
+        np.add.at(state.d_comm, u[joined], w[joined])
+    left = prev_comm[u] == cv
+    rel = np.flatnonzero((joined != left) & ~moved[v])
+    if len(rel):
+        delta = np.where(joined[rel], w[rel], -w[rel])
+        np.add.at(state.d_comm, v[rel], delta)
+
+
+def make_chunked_weight_updater(spec: str, chunk_edges: int, release=None):
+    """A weight updater with O(``chunk_edges``) transient allocations.
+
+    ``delta`` maps to :func:`delta_update_chunked`; ``recompute`` keeps the
+    plain full recomputation (its ``row_ids`` scratch is inherently O(E) —
+    out-of-core runs should use ``delta``).
+    """
+    if spec == "delta":
+
+        def updater(
+            state: CommunityState, prev_comm: np.ndarray, moved: np.ndarray
+        ) -> Optional[np.ndarray]:
+            return delta_update_chunked(
+                state, prev_comm, moved, chunk_edges, release=release
+            )
+
+        return updater
+    return make_weight_updater(spec)
+
+
 def make_jit_delta_updater(runtime, arena):
     """A compiled drop-in for :func:`delta_update` (same signature/results).
 

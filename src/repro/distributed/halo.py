@@ -50,22 +50,45 @@ class RankView:
 
 
 def build_rank_views(
-    graph: CSRGraph, partition: VertexPartition
+    graph: CSRGraph, partition: VertexPartition, chunk_edges: int = 1 << 20
 ) -> list[RankView]:
-    """Construct every rank's view from a vertex partition."""
+    """Construct every rank's view from a vertex partition.
+
+    Scans the adjacency in row blocks of at most ``chunk_edges`` entries
+    (a single row may exceed that only by its own degree) and marks ghosts
+    in a ``(ranks, n)`` bitmap, so peak heap is O(ranks * n + chunk) and
+    never O(E) — out-of-core graphs page through their mapped arrays
+    block by block.
+    """
     if partition.n != graph.n:
         raise PartitionError("partition does not cover this graph")
     k = partition.num_parts
     owner = partition.owner
-    row = np.repeat(np.arange(graph.n), np.diff(graph.indptr))
+    indptr = graph.indptr
 
-    views: list[RankView] = []
-    for r in range(k):
-        owned = np.flatnonzero(owner == r)
-        mask = owner[row] == r
-        nbrs = graph.indices[mask]
-        ghosts = np.unique(nbrs[owner[nbrs] != r])
-        views.append(RankView(rank=r, owned=owned, ghosts=ghosts))
+    ghost_flags = np.zeros((k, graph.n), dtype=bool)
+    start = 0
+    while start < graph.n:
+        stop = int(
+            np.searchsorted(indptr, indptr[start] + chunk_edges, side="right") - 1
+        )
+        stop = min(max(stop, start + 1), graph.n)
+        nbrs = np.asarray(graph.indices[indptr[start] : indptr[stop]])
+        row_owner = np.repeat(
+            owner[start:stop], np.diff(indptr[start : stop + 1])
+        )
+        cross = owner[nbrs] != row_owner
+        ghost_flags[row_owner[cross], nbrs[cross]] = True
+        start = stop
+
+    views = [
+        RankView(
+            rank=r,
+            owned=np.flatnonzero(owner == r),
+            ghosts=np.flatnonzero(ghost_flags[r]),
+        )
+        for r in range(k)
+    ]
 
     # transpose ghost sets into send lists
     for r, view in enumerate(views):

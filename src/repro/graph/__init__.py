@@ -15,6 +15,14 @@ from repro.graph.builder import (
     coalesce_edges,
 )
 from repro.graph.coarsen import coarsen_graph
+from repro.graph.mmap_store import (
+    MmapCSRGraph,
+    MmapCSRWriter,
+    is_mmap_store,
+    open_mmap,
+    save_mmap,
+)
+from repro.graph.external import build_from_edge_chunks, edge_list_to_mmap
 from repro.graph.partition import VertexPartition, partition_contiguous, partition_by_degree
 from repro.graph.reorder import degree_order, bfs_order, relabel_graph
 
@@ -28,6 +36,13 @@ __all__ = [
     "symmetrize_edges",
     "coalesce_edges",
     "coarsen_graph",
+    "MmapCSRGraph",
+    "MmapCSRWriter",
+    "is_mmap_store",
+    "open_mmap",
+    "save_mmap",
+    "build_from_edge_chunks",
+    "edge_list_to_mmap",
     "VertexPartition",
     "partition_contiguous",
     "partition_by_degree",

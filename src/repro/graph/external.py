@@ -1,0 +1,426 @@
+"""Streaming edge-list → CSR conversion with bounded peak memory.
+
+The in-RAM builder (:mod:`repro.graph.builder`) materialises the whole
+edge array several times over (parse buffer, symmetrise concat, global
+lexsort); at 10⁷–10⁸ edges that multiple is the difference between
+"fits" and "OOM-killed". This module builds the same CSR — bit-identical
+arrays, same validation behaviour — from a re-iterable stream of edge
+chunks, touching only O(n + chunk) heap:
+
+1. **degree pass** — per-chunk ``bincount`` accumulates the symmetrised
+   degree of every vertex and routes self-loops into ``self_weight``
+   (``np.add.at`` in file order, the builder's exact summation order);
+2. **scatter passes** — non-loop entries land directly at their final
+   row offsets in a pre-coalesce scratch adjacency (RAM or an on-disk
+   memmap). Two passes, all forward entries then all reverse entries, so
+   each row's arrival order equals the order the builder's stable
+   ``lexsort((dst, src))`` would produce — the float coalesce sums below
+   then add in the identical sequence;
+3. **coalesce pass** — per row-block stable sort + ``reduceat`` run
+   collapse, streamed into the final CSR (an in-RAM ``CSRGraph`` or a
+   :class:`~repro.graph.mmap_store.MmapCSRWriter` store).
+
+``load_edge_list`` reuses the chunked text parser and the in-RAM sink;
+``edge_list_to_mmap`` is the fully out-of-core path (text → binary edge
+spool → on-disk store) and never holds an O(E) array in memory.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import os
+import shutil
+from typing import Callable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError, GraphValidationError
+from repro.graph.builder import validate_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.mmap_store import (
+    DEFAULT_CHUNK_EDGES,
+    MmapCSRGraph,
+    MmapCSRWriter,
+    iter_row_blocks,
+)
+
+PathLike = Union[str, os.PathLike]
+
+#: a chunk factory is called once per pass and must yield the same
+#: ``(src, dst, w)`` chunks every time (chunk boundaries may differ)
+EdgeChunks = Callable[[], Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]]
+
+
+# --------------------------------------------------------------------- #
+# chunked text parsing (shared by load_edge_list and the converter)
+# --------------------------------------------------------------------- #
+def iter_edge_list_chunks(
+    path: PathLike,
+    comments: str = "#",
+    weighted: bool = False,
+    chunk_lines: int = DEFAULT_CHUNK_EDGES,
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Parse a SNAP-style edge-list file in bounded line batches.
+
+    Yields ``(src, dst, w)`` int64/int64/float64 chunks with the file's
+    raw (possibly sparse) vertex ids; comment/blank lines are skipped.
+    Parse failures raise the same :class:`GraphFormatError` the whole-file
+    loader raised.
+    """
+    import warnings
+
+    cols = 3 if weighted else 2
+    try:
+        with open(path) as fh:
+            while True:
+                lines = list(itertools.islice(fh, max(chunk_lines, 1)))
+                if not lines:
+                    return
+                with warnings.catch_warnings():
+                    # an all-comments batch parses to an empty array; the
+                    # "no data" warning would just be noise
+                    warnings.simplefilter("ignore", UserWarning)
+                    data = np.loadtxt(
+                        io.StringIO("".join(lines)),
+                        comments=comments,
+                        usecols=range(cols),
+                        ndmin=2,
+                    )
+                if data.size == 0:
+                    continue
+                src = data[:, 0].astype(np.int64)
+                dst = data[:, 1].astype(np.int64)
+                w = (
+                    data[:, 2].astype(np.float64)
+                    if weighted
+                    else np.ones(len(src), dtype=np.float64)
+                )
+                yield src, dst, w
+    except (ValueError, OSError) as exc:
+        raise GraphFormatError(f"cannot parse edge list {path!r}: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# the multi-pass builder core
+# --------------------------------------------------------------------- #
+def build_from_edge_chunks(
+    chunks: EdgeChunks,
+    n: int,
+    name: str = "graph",
+    source: str | None = None,
+    out_path: PathLike | None = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    validate: bool = True,
+    on_edges_done: Optional[Callable[[], None]] = None,
+) -> CSRGraph:
+    """Build a CSR graph from re-iterable edge chunks in O(n + chunk) heap.
+
+    ``chunks`` is consumed three times (degree pass, forward scatter,
+    reverse scatter) and must replay identically. Ids must already lie in
+    ``[0, n)``. With ``out_path`` the result is an on-disk
+    :class:`MmapCSRGraph` store; otherwise an in-RAM :class:`CSRGraph`.
+    The output arrays are bit-identical to
+    :func:`repro.graph.builder.from_edge_array` on the concatenated
+    chunks — same symmetrisation, same coalesce summation order, same
+    self-loop routing. ``on_edges_done`` fires after the final pass over
+    ``chunks`` (callers use it to free a spool before the coalesce).
+    """
+    counts = np.zeros(n, dtype=np.int64)
+    self_w = np.zeros(n, dtype=np.float64)
+    for src, dst, w in chunks():
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if src.shape != dst.shape:
+            raise GraphValidationError("src and dst must have equal shape")
+        if w.shape != src.shape:
+            raise GraphValidationError("w must match src/dst shape")
+        if len(src) == 0:
+            continue
+        if min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= n:
+            raise GraphValidationError(f"edge endpoint out of range [0, {n})")
+        if np.any(w < 0):
+            raise GraphValidationError("negative edge weight")
+        loop = src == dst
+        if loop.any():
+            np.add.at(self_w, src[loop], w[loop])
+            nl = ~loop
+            src, dst = src[nl], dst[nl]
+        counts += np.bincount(src, minlength=n)
+        counts += np.bincount(dst, minlength=n)
+    nnz_pre = int(counts.sum())
+
+    # pre-coalesce scratch adjacency, row-bucketed by final offset
+    scratch_dir = None
+    if out_path is not None and nnz_pre > 0:
+        scratch_dir = os.path.join(os.fspath(out_path), ".scratch")
+        os.makedirs(scratch_dir, exist_ok=True)
+        idx_s = np.memmap(
+            os.path.join(scratch_dir, "idx.bin"), dtype="<i8", mode="w+",
+            shape=(nnz_pre,),
+        )
+        w_s = np.memmap(
+            os.path.join(scratch_dir, "w.bin"), dtype="<f8", mode="w+",
+            shape=(nnz_pre,),
+        )
+    else:
+        idx_s = np.empty(nnz_pre, dtype=np.int64)
+        w_s = np.empty(nnz_pre, dtype=np.float64)
+    base = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=base[1:])
+    cur = base[:-1].copy()
+
+    # two scatter passes — all forward entries, then all reverse entries —
+    # so each row fills in exactly the order the builder's stable global
+    # lexsort over [forward..., reverse...] visits it
+    for forward in (True, False):
+        for src, dst, w in chunks():
+            src = np.asarray(src, dtype=np.int64)
+            dst = np.asarray(dst, dtype=np.int64)
+            w = np.asarray(w, dtype=np.float64)
+            nl = src != dst
+            u = (src if forward else dst)[nl]
+            v = (dst if forward else src)[nl]
+            ww = w[nl]
+            if len(u) == 0:
+                continue
+            order = np.argsort(u, kind="stable")
+            u, v, ww = u[order], v[order], ww[order]
+            uniq, run_start, run_cnt = np.unique(
+                u, return_index=True, return_counts=True
+            )
+            offs = np.arange(len(u), dtype=np.int64) - np.repeat(run_start, run_cnt)
+            pos = cur[u] + offs
+            # a generator that yields *more* per row than the degree pass
+            # counted would scatter past its row bucket — catch it here
+            # rather than corrupt a neighbour row (the post-pass cursor
+            # check below only sees totals)
+            if np.any(cur[uniq] + run_cnt > base[uniq + 1]):
+                raise GraphValidationError(
+                    "edge chunks did not replay identically across passes"
+                )
+            idx_s[pos] = v
+            w_s[pos] = ww
+            cur[uniq] += run_cnt
+    if not np.array_equal(cur, base[1:]):
+        raise GraphValidationError(
+            "edge chunks did not replay identically across passes"
+        )
+    if on_edges_done is not None:
+        on_edges_done()
+
+    # per-row-block coalesce into the final CSR
+    if out_path is not None:
+        writer: MmapCSRWriter | _RamWriter = MmapCSRWriter(out_path, n, name=name)
+    else:
+        writer = _RamWriter(n, name=name)
+    try:
+        for v0, v1 in iter_row_blocks(base, max(chunk_edges, 1)):
+            p0, p1 = int(base[v0]), int(base[v1])
+            ids = np.asarray(idx_s[p0:p1], dtype=np.int64)
+            ws = np.asarray(w_s[p0:p1], dtype=np.float64)
+            nrows = v1 - v0
+            if len(ids) == 0:
+                writer.append_rows(
+                    np.zeros(nrows, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64),
+                )
+                continue
+            rows = np.repeat(np.arange(nrows, dtype=np.int64), counts[v0:v1])
+            order = np.lexsort((ids, rows))
+            rows_s, ids_s, ws_s = rows[order], ids[order], ws[order]
+            new_run = np.empty(len(ids_s), dtype=bool)
+            new_run[0] = True
+            new_run[1:] = (rows_s[1:] != rows_s[:-1]) | (ids_s[1:] != ids_s[:-1])
+            starts = np.flatnonzero(new_run)
+            writer.append_rows(
+                np.bincount(rows_s[starts], minlength=nrows),
+                ids_s[starts],
+                np.add.reduceat(ws_s, starts),
+            )
+        nz = np.flatnonzero(self_w)
+        if len(nz):
+            writer.add_self_weight(nz, self_w[nz])
+        graph = writer.finalize(validate=validate, chunk_edges=chunk_edges)
+    except BaseException:
+        writer.abort()
+        raise
+    finally:
+        del idx_s, w_s
+        if scratch_dir is not None:
+            shutil.rmtree(scratch_dir, ignore_errors=True)
+    if out_path is None and validate:
+        validate_graph(graph, source=source or name)
+    return graph
+
+
+class _RamWriter:
+    """In-RAM sink with the :class:`MmapCSRWriter` append interface."""
+
+    def __init__(self, n: int, name: str = "graph"):
+        self.n = n
+        self.name = name
+        self._counts: list[np.ndarray] = []
+        self._ids: list[np.ndarray] = []
+        self._ws: list[np.ndarray] = []
+        self._self_weight = np.zeros(n, dtype=np.float64)
+
+    def append_rows(
+        self, counts: np.ndarray, indices: np.ndarray, weights: np.ndarray
+    ) -> None:
+        self._counts.append(np.asarray(counts, dtype=np.int64))
+        self._ids.append(np.asarray(indices, dtype=np.int64))
+        self._ws.append(np.asarray(weights, dtype=np.float64))
+
+    def add_self_weight(self, vertices: np.ndarray, weights: np.ndarray) -> None:
+        np.add.at(self._self_weight, vertices, weights)
+
+    def finalize(self, validate: bool = True, chunk_edges: int = 0) -> CSRGraph:
+        counts = (
+            np.concatenate(self._counts)
+            if self._counts
+            else np.zeros(self.n, dtype=np.int64)
+        )
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = (
+            np.concatenate(self._ids) if self._ids else np.empty(0, dtype=np.int64)
+        )
+        weights = (
+            np.concatenate(self._ws) if self._ws else np.empty(0, dtype=np.float64)
+        )
+        return CSRGraph(
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            self_weight=self._self_weight,
+            name=self.name,
+        )
+
+    def abort(self) -> None:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# binary edge spool (parse text once, replay cheaply)
+# --------------------------------------------------------------------- #
+class EdgeSpool:
+    """Append-once, replay-many binary spool of ``(src, dst, w)`` edges.
+
+    The out-of-core converter parses the text file exactly once, spools
+    the raw edges here, and replays the spool for the builder's three
+    passes — binary replay is pure ``memmap`` reads, ~100x cheaper than
+    re-parsing text.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = os.fspath(path)
+        os.makedirs(self.path, exist_ok=True)
+        self._fhs = {
+            key: open(os.path.join(self.path, f"{key}.bin"), "wb")
+            for key in ("src", "dst", "w")
+        }
+        self.num_edges = 0
+
+    def append(self, src: np.ndarray, dst: np.ndarray, w: np.ndarray) -> None:
+        self._fhs["src"].write(np.ascontiguousarray(src, dtype="<i8").tobytes())
+        self._fhs["dst"].write(np.ascontiguousarray(dst, dtype="<i8").tobytes())
+        self._fhs["w"].write(np.ascontiguousarray(w, dtype="<f8").tobytes())
+        self.num_edges += len(src)
+
+    def close_write(self) -> None:
+        for fh in self._fhs.values():
+            fh.close()
+        self._fhs = {}
+
+    def chunks(
+        self, chunk_edges: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        if self.num_edges == 0:
+            return
+        src = np.memmap(
+            os.path.join(self.path, "src.bin"), dtype="<i8", mode="r",
+            shape=(self.num_edges,),
+        )
+        dst = np.memmap(
+            os.path.join(self.path, "dst.bin"), dtype="<i8", mode="r",
+            shape=(self.num_edges,),
+        )
+        w = np.memmap(
+            os.path.join(self.path, "w.bin"), dtype="<f8", mode="r",
+            shape=(self.num_edges,),
+        )
+        step = max(chunk_edges, 1)
+        for lo in range(0, self.num_edges, step):
+            hi = min(lo + step, self.num_edges)
+            yield src[lo:hi], dst[lo:hi], w[lo:hi]
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.path, ignore_errors=True)
+
+
+# --------------------------------------------------------------------- #
+# the fully out-of-core converter
+# --------------------------------------------------------------------- #
+def edge_list_to_mmap(
+    path: PathLike,
+    out_path: PathLike,
+    comments: str = "#",
+    weighted: bool = False,
+    name: str | None = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    validate: bool = True,
+) -> MmapCSRGraph:
+    """Convert an edge-list text file into an on-disk graph store.
+
+    External-sort pipeline: text is parsed once in bounded batches into a
+    binary spool inside ``out_path``, sparse vertex ids are compacted
+    exactly as :func:`~repro.graph.io.load_edge_list` compacts them
+    (numeric order), and the spool is replayed through
+    :func:`build_from_edge_chunks` into an ``np.memmap``-backed store.
+    Peak heap is O(n + chunk_edges) — the edge array never exists in RAM.
+    """
+    out_path = os.fspath(out_path)
+    gname = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    os.makedirs(out_path, exist_ok=True)
+    spool = EdgeSpool(os.path.join(out_path, ".spool"))
+    try:
+        ids: np.ndarray | None = None
+        for src, dst, w in iter_edge_list_chunks(
+            path, comments=comments, weighted=weighted, chunk_lines=chunk_edges
+        ):
+            spool.append(src, dst, w)
+            chunk_ids = np.union1d(src, dst)
+            ids = chunk_ids if ids is None else np.union1d(ids, chunk_ids)
+        spool.close_write()
+        if ids is None:
+            raise GraphFormatError(f"edge list {path!r} contains no edges")
+        n = len(ids)
+        compact = ids[0] == 0 and ids[-1] == n - 1
+        mapping = None if compact else ids
+
+        def chunks() -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+            for src, dst, w in spool.chunks(chunk_edges):
+                if mapping is not None:
+                    yield (
+                        np.searchsorted(mapping, src),
+                        np.searchsorted(mapping, dst),
+                        np.asarray(w),
+                    )
+                else:
+                    yield src, dst, w
+
+        graph = build_from_edge_chunks(
+            chunks,
+            n,
+            name=gname,
+            source=os.fspath(path),
+            out_path=out_path,
+            chunk_edges=chunk_edges,
+            validate=validate,
+        )
+    finally:
+        spool.cleanup()
+    return graph

@@ -27,6 +27,7 @@ from repro.graph.generators.random_models import (
     watts_strogatz,
 )
 from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.disk import rmat_to_disk, sbm_to_disk
 from repro.graph.generators.lfr import lfr_graph, LFRParams
 from repro.graph.generators.datasets import (
     DATASETS,
@@ -47,6 +48,8 @@ __all__ = [
     "barabasi_albert",
     "watts_strogatz",
     "rmat_graph",
+    "rmat_to_disk",
+    "sbm_to_disk",
     "lfr_graph",
     "LFRParams",
     "DATASETS",

@@ -17,11 +17,41 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 
 
+#: adjacency entries scanned per block — bounds peak heap at O(n + chunk)
+#: so the metrics stay usable on memory-mapped graphs (docs/scale.md)
+_CHUNK_EDGES = 1 << 20
+
+
+def _iter_edge_blocks(graph: CSRGraph):
+    """Yield ``(row_ids, nbrs, weights)`` in bounded consecutive blocks.
+
+    Concatenating the blocks reproduces the whole-graph edge arrays in
+    order, so order-sensitive accumulations (``np.add.at``) are unchanged.
+    """
+    indptr = graph.indptr
+    start = 0
+    while start < graph.n:
+        stop = int(
+            np.searchsorted(indptr, indptr[start] + _CHUNK_EDGES, side="right") - 1
+        )
+        stop = min(max(stop, start + 1), graph.n)
+        lo, hi = int(indptr[start]), int(indptr[stop])
+        rows = np.repeat(
+            np.arange(start, stop), np.diff(indptr[start : stop + 1])
+        )
+        yield rows, np.asarray(graph.indices[lo:hi]), np.asarray(
+            graph.weights[lo:hi]
+        )
+        start = stop
+
+
 def _intra_weight(graph: CSRGraph, comm: np.ndarray) -> float:
     """Undirected intra-community weight, loops included once."""
-    row = np.repeat(np.arange(graph.n), np.diff(graph.indptr))
-    intra = comm[row] == comm[graph.indices]
-    return float(graph.weights[intra].sum()) / 2.0 + float(graph.self_weight.sum())
+    total = 0.0
+    for rows, nbrs, weights in _iter_edge_blocks(graph):
+        intra = comm[rows] == comm[nbrs]
+        total += float(weights[intra].sum())
+    return total / 2.0 + float(graph.self_weight.sum())
 
 
 def coverage(graph: CSRGraph, communities: np.ndarray) -> float:
@@ -45,10 +75,13 @@ def partition_performance(graph: CSRGraph, communities: np.ndarray) -> float:
     total_pairs = n * (n - 1) / 2.0
     sizes = np.bincount(comm)
     intra_pairs = float((sizes * (sizes - 1) / 2.0).sum())
-    row = np.repeat(np.arange(n), np.diff(graph.indptr))
-    intra_mask = comm[row] == comm[graph.indices]
-    intra_edges = float(intra_mask.sum()) / 2.0
-    inter_edges = float((~intra_mask).sum()) / 2.0
+    intra_count = inter_count = 0
+    for rows, nbrs, _ in _iter_edge_blocks(graph):
+        intra_blk = int(np.count_nonzero(comm[rows] == comm[nbrs]))
+        intra_count += intra_blk
+        inter_count += len(rows) - intra_blk
+    intra_edges = intra_count / 2.0
+    inter_edges = inter_count / 2.0
     inter_pairs = total_pairs - intra_pairs
     correct = intra_edges + (inter_pairs - inter_edges)
     return correct / total_pairs
@@ -65,11 +98,11 @@ def mean_conductance(graph: CSRGraph, communities: np.ndarray) -> float:
     k = compact.max() + 1 if len(compact) else 0
     if k <= 1:
         return 0.0
-    row = np.repeat(np.arange(graph.n), np.diff(graph.indptr))
-    inter = compact[row] != compact[graph.indices]
     cut = np.zeros(k, dtype=np.float64)
-    if np.any(inter):
-        np.add.at(cut, compact[row[inter]], graph.weights[inter])
+    for rows, nbrs, weights in _iter_edge_blocks(graph):
+        inter = compact[rows] != compact[nbrs]
+        if np.any(inter):
+            np.add.at(cut, compact[rows[inter]], weights[inter])
     vol = np.bincount(compact, weights=graph.strength, minlength=k)
     total = graph.two_m
     denom = np.minimum(vol, total - vol)

@@ -167,14 +167,24 @@ def _worker_main(conn, graph_cache_size: int) -> None:
             fp = msg["fingerprint"]
             payload = msg.get("graph")
             if payload is not None:
-                graphs[fp] = CSRGraph(
-                    indptr=payload["indptr"],
-                    indices=payload["indices"],
-                    weights=payload["weights"],
-                    self_weight=payload["self_weight"],
-                    name=payload["name"],
-                    _fingerprint=fp,
-                )
+                if "mmap_path" in payload:
+                    # on-disk store: map it read-only instead of copying
+                    # the adjacency into this worker's heap — every
+                    # worker shares the same page-cache pages
+                    from repro.graph.mmap_store import open_mmap
+
+                    mapped = open_mmap(payload["mmap_path"], validate=False)
+                    object.__setattr__(mapped, "_fingerprint", fp)
+                    graphs[fp] = mapped
+                else:
+                    graphs[fp] = CSRGraph(
+                        indptr=payload["indptr"],
+                        indices=payload["indices"],
+                        weights=payload["weights"],
+                        self_weight=payload["self_weight"],
+                        name=payload["name"],
+                        _fingerprint=fp,
+                    )
                 while len(graphs) > graph_cache_size:
                     graphs.popitem(last=False)
             graph = graphs.get(fp)
@@ -280,6 +290,12 @@ class WorkerPool(DetectionRunner):
                 raise RuntimeError("worker failed to boot")
 
     def _graph_payload(self, graph: CSRGraph) -> Dict[str, Any]:
+        from repro.graph.mmap_store import MmapCSRGraph
+
+        if isinstance(graph, MmapCSRGraph) and graph.path:
+            # ship the store path, not the arrays: pickling a memmap
+            # copies its data by value, defeating out-of-core serving
+            return {"mmap_path": graph.path, "name": graph.name}
         return {
             "indptr": graph.indptr,
             "indices": graph.indices,

@@ -23,7 +23,18 @@ from repro.graph.csr import CSRGraph
 
 
 def graph_nbytes(graph: CSRGraph) -> int:
-    """Resident size of a graph's payload arrays."""
+    """Resident size of a graph's payload arrays.
+
+    Memory-mapped graphs charge only their heap-resident arrays — the
+    adjacency lives in the page cache, is shared across every process
+    that maps the store, and is reclaimable under pressure, so counting
+    it against the registry budget would evict mmapped graphs that cost
+    almost nothing to keep.
+    """
+    from repro.graph.mmap_store import MmapCSRGraph
+
+    if isinstance(graph, MmapCSRGraph):
+        return int(graph.resident_nbytes)
     return int(
         graph.indptr.nbytes
         + graph.indices.nbytes

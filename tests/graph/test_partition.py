@@ -49,6 +49,68 @@ class TestContiguous:
         assert np.all(p.owner == 0)
 
 
+class TestMorePartsThanVertices:
+    """ranks > vertices: trailing parts own nothing, everything stays valid."""
+
+    def test_contiguous_allows_empty_parts(self):
+        from repro.graph.generators import two_triangles
+
+        g = two_triangles()  # n = 6
+        p = partition_contiguous(g, 10)
+        assert p.num_parts == 10
+        assert p.sizes().sum() == g.n
+        assert np.count_nonzero(p.sizes() == 0) >= 4
+        # every vertex still has exactly one in-range owner
+        assert p.owner.min() >= 0 and p.owner.max() < 10
+
+    def test_rank_views_with_empty_parts(self):
+        from repro.distributed.halo import build_rank_views
+        from repro.graph.generators import two_triangles
+
+        g = two_triangles()
+        views = build_rank_views(g, partition_contiguous(g, 10))
+        assert len(views) == 10
+        covered = np.concatenate([v.owned for v in views])
+        np.testing.assert_array_equal(np.sort(covered), np.arange(g.n))
+        for view in views:
+            if view.num_owned == 0:
+                assert view.num_ghosts == 0
+                assert view.send_lists == {}
+
+
+class TestEmptyBoundaries:
+    """Partitions aligned with components exchange no halo at all."""
+
+    def _two_cliques(self):
+        # two disconnected triangles: vertices 0-2 and 3-5
+        src = np.array([0, 0, 1, 3, 3, 4])
+        dst = np.array([1, 2, 2, 4, 5, 5])
+        from repro.graph.builder import from_edge_array
+
+        return from_edge_array(6, src, dst, np.ones(6), name="2tri")
+
+    def test_no_ghosts_across_components(self):
+        from repro.distributed.halo import build_rank_views
+        from repro.graph.partition import VertexPartition
+
+        g = self._two_cliques()
+        part = VertexPartition(owner=np.array([0, 0, 0, 1, 1, 1]),
+                               num_parts=2)
+        views = build_rank_views(g, part)
+        for view in views:
+            assert view.num_ghosts == 0
+            assert view.send_lists == {}
+
+    def test_single_rank_has_no_halo(self, ring):
+        from repro.distributed.halo import build_rank_views
+
+        views = build_rank_views(ring, partition_contiguous(ring, 1))
+        assert len(views) == 1
+        assert views[0].num_ghosts == 0
+        assert views[0].send_lists == {}
+        np.testing.assert_array_equal(views[0].owned, np.arange(ring.n))
+
+
 class TestByDegree:
     def test_covers_all_vertices(self, ring):
         p = partition_by_degree(ring, 4)

@@ -1,0 +1,193 @@
+"""Multiprocess runtime: bit-exactness matrix, halo parity, lifecycle.
+
+The process-per-rank executor must be indistinguishable from the local
+and simulated-distributed runtimes in everything but wall-clock: same
+communities, same per-iteration move counts, same halo accounting — for
+every graph, rank count, and chunk size, including under the sanitizers
+and the observability layer. The lifecycle tests pin the ugly parts:
+worker crashes surface as errors (not hangs), and no ``/dev/shm``
+segment or spill directory outlives the executor.
+"""
+
+import glob
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.phase1 import Phase1Config, run_phase1
+from repro.distributed import DistributedConfig, run_distributed_phase1
+from repro.graph.generators import load_dataset, ring_of_cliques
+from repro.graph.mmap_store import save_mmap
+from repro.multiprocess import (
+    MultiprocessConfig,
+    MultiprocessExecutor,
+    run_multiprocess_phase1,
+)
+
+MATRIX_GRAPHS = {
+    "LJ": lambda: load_dataset("LJ", 0.05),
+    "HW": lambda: load_dataset("HW", 0.05),
+    "ring": lambda: ring_of_cliques(8, 6),
+}
+RANK_COUNTS = [2, 3, 4]
+
+
+def shm_segments() -> set:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: make() for name, make in MATRIX_GRAPHS.items()}
+
+
+@pytest.fixture(scope="module")
+def local_results(graphs):
+    return {
+        name: run_phase1(g, Phase1Config(pruning="mg"))
+        for name, g in graphs.items()
+    }
+
+
+class TestBitExactMatrix:
+    @pytest.mark.parametrize("name", list(MATRIX_GRAPHS))
+    @pytest.mark.parametrize("ranks", RANK_COUNTS)
+    def test_matches_local(self, graphs, local_results, name, ranks):
+        local = local_results[name]
+        mp = run_multiprocess_phase1(
+            graphs[name], MultiprocessConfig(num_ranks=ranks, pruning="mg")
+        )
+        np.testing.assert_array_equal(mp.communities, local.communities)
+        assert mp.modularity == local.modularity
+        assert [h.num_moved for h in mp.history] == [
+            h.num_moved for h in local.history
+        ]
+
+    @pytest.mark.parametrize("name", list(MATRIX_GRAPHS))
+    @pytest.mark.parametrize("ranks", RANK_COUNTS)
+    def test_halo_accounting_matches_distributed(self, graphs, name, ranks):
+        mp = run_multiprocess_phase1(
+            graphs[name], MultiprocessConfig(num_ranks=ranks, pruning="mg")
+        )
+        dist = run_distributed_phase1(
+            graphs[name], DistributedConfig(num_ranks=ranks, pruning="mg")
+        )
+        assert mp.stats.messages == dist.stats.messages
+        assert mp.stats.bytes_sent == dist.stats.bytes_sent
+        assert [h.comm_bytes for h in mp.history] == [
+            h.comm_bytes for h in dist.history
+        ]
+
+    def test_single_rank(self, graphs, local_results):
+        mp = run_multiprocess_phase1(
+            graphs["ring"], MultiprocessConfig(num_ranks=1, pruning="mg")
+        )
+        np.testing.assert_array_equal(
+            mp.communities, local_results["ring"].communities
+        )
+        assert mp.stats.messages == 0
+
+    def test_more_ranks_than_vertices(self):
+        from repro.graph.generators import two_triangles
+
+        g = two_triangles()  # n = 6
+        local = run_phase1(g, Phase1Config(pruning="mg"))
+        mp = run_multiprocess_phase1(
+            g, MultiprocessConfig(num_ranks=10, pruning="mg")
+        )
+        np.testing.assert_array_equal(mp.communities, local.communities)
+
+    def test_tiny_chunks(self, graphs, local_results):
+        mp = run_multiprocess_phase1(
+            graphs["LJ"],
+            MultiprocessConfig(num_ranks=3, pruning="mg", chunk_edges=64),
+        )
+        np.testing.assert_array_equal(
+            mp.communities, local_results["LJ"].communities
+        )
+
+    def test_mmap_graph_input(self, graphs, local_results, tmp_path):
+        store = save_mmap(graphs["HW"], tmp_path / "hw.store")
+        with MultiprocessExecutor(
+            store, MultiprocessConfig(num_ranks=3, pruning="mg")
+        ) as ex:
+            assert ex._spill_dir is None  # mapped in place, no copy
+            from repro.core.engine import run_engine
+
+            result = run_engine(ex, ex.config.engine_config())
+        np.testing.assert_array_equal(
+            result.communities, local_results["HW"].communities
+        )
+
+
+class TestUnderObservation:
+    def test_sanitized_and_traced_run_is_bit_exact(self, tmp_path):
+        from repro import analysis, obs
+        from repro.core import gala
+        from repro.core.gala import GalaConfig
+
+        g = ring_of_cliques(8, 6)
+        ref = gala(g, GalaConfig())
+        with obs.session(trace=str(tmp_path / "trace.json")):
+            with analysis.sanitized("fast") as san:
+                mp = gala(g, GalaConfig(runtime="multiprocess", ranks=3))
+        np.testing.assert_array_equal(mp.communities, ref.communities)
+        assert mp.modularity == ref.modularity
+        assert san.log.clean
+        assert os.path.getsize(tmp_path / "trace.json") > 0
+
+    def test_cache_key_ignores_runtime(self):
+        from repro.core.gala import GalaConfig
+
+        assert (
+            GalaConfig().cache_key()
+            == GalaConfig(runtime="multiprocess", ranks=8).cache_key()
+        )
+
+
+class TestLifecycle:
+    def test_no_leaked_segments_or_spills(self, graphs):
+        base = shm_segments()
+        for _ in range(3):
+            run_multiprocess_phase1(
+                graphs["ring"], MultiprocessConfig(num_ranks=2, pruning="mg")
+            )
+        assert shm_segments() - base == set()
+
+    def test_close_is_idempotent(self, graphs):
+        ex = MultiprocessExecutor(
+            graphs["ring"], MultiprocessConfig(num_ranks=2)
+        )
+        spill = ex._spill_dir
+        assert spill is not None and os.path.isdir(spill)
+        ex.close()
+        ex.close()
+        assert not os.path.isdir(spill)
+        assert all(not p.is_alive() for p in ex._workers)
+
+    def test_worker_crash_raises_and_cleans_up(self, graphs):
+        base = shm_segments()
+        ex = MultiprocessExecutor(
+            graphs["ring"],
+            MultiprocessConfig(num_ranks=2, sync_timeout=3.0),
+        )
+        os.kill(ex._workers[0].pid, signal.SIGKILL)
+        n = graphs["ring"].n
+        with pytest.raises(RuntimeError, match="rank|worker|barrier"):
+            ex.decide(np.arange(n), np.ones(n, dtype=bool))
+        ex.close()
+        assert shm_segments() - base == set()
+        assert ex._spill_dir is None or not os.path.isdir(ex._spill_dir)
+
+    def test_rejects_mismatched_partition(self, graphs):
+        from repro.graph.partition import partition_contiguous
+
+        part = partition_contiguous(graphs["ring"], 3)
+        with pytest.raises(ValueError, match="partition"):
+            MultiprocessExecutor(
+                graphs["ring"],
+                MultiprocessConfig(num_ranks=2),
+                partition=part,
+            )

@@ -136,3 +136,29 @@ class TestWorkerPool:
     def test_bad_worker_count(self):
         with pytest.raises(ValueError):
             WorkerPool(workers=0)
+
+
+class TestMmapPayload:
+    def test_store_crosses_as_path_and_matches(self, graph, tmp_path):
+        """A memmapped graph ships its store path (not the arrays) to the
+        workers, and the detection result is identical to in-RAM."""
+        from repro.graph.mmap_store import save_mmap
+
+        store = save_mmap(graph, tmp_path / "g.store")
+        pool = WorkerPool(workers=1)
+        payload = pool._graph_payload(store)
+        assert payload == {"mmap_path": store.path, "name": store.name}
+
+        async def go():
+            await pool.start()
+            try:
+                return await pool.run(
+                    store, GalaConfig(phase1_only=True), timeout=60
+                )
+            finally:
+                await pool.stop()
+
+        out = asyncio.run(go())
+        direct = gala(graph, GalaConfig(phase1_only=True))
+        np.testing.assert_array_equal(out["communities"], direct.communities)
+        assert out["modularity"] == direct.modularity

@@ -95,3 +95,16 @@ class TestIntrospection:
         reg.evict(fps[1])
         expected = graph_nbytes(graphs[0]) + graph_nbytes(graphs[2])
         assert reg.stats()["bytes"] == expected
+
+
+class TestMmapAccounting:
+    def test_memmapped_graph_charges_resident_only(self, graphs, tmp_path):
+        from repro.graph.mmap_store import save_mmap
+
+        store = save_mmap(graphs[0], tmp_path / "g.store")
+        assert graph_nbytes(store) == store.resident_nbytes
+        assert graph_nbytes(store) < graph_nbytes(graphs[0])
+        # a byte budget sized for the resident part admits the store
+        reg = GraphRegistry(max_bytes=graph_nbytes(store) + 1)
+        fp = reg.put(store)
+        assert reg.get(fp) is store
