@@ -37,6 +37,7 @@ import time
 
 from repro import obs
 from repro.graph.generators import rmat_graph
+from repro.obs.exposition import parse_prometheus_text, sample_value
 from repro.serve import DetectionServer, ServeClient, ServeConfig
 
 
@@ -147,6 +148,98 @@ async def _overload_phase(
     }
 
 
+def _bucket_quantile(families: dict, family: str, q: float) -> float:
+    """Recompute a quantile from parsed ``_bucket`` samples — the same
+    upper-bound-of-rank-bucket estimate ``BucketHistogram.quantile``
+    reports server-side (``+Inf`` falls back to the last finite bound)."""
+    buckets = sorted(
+        (
+            (labels["le"], value)
+            for name, labels, value in families[family]["samples"]
+            if name.endswith("_bucket")
+        ),
+        key=lambda kv: float("inf") if kv[0] == "+Inf" else float(kv[0]),
+    )
+    total = buckets[-1][1]
+    if not total:
+        return 0.0
+    rank = q * total
+    previous = 0.0
+    last_finite = 0.0
+    for le, cumulative in buckets:
+        if le != "+Inf":
+            last_finite = float(le)
+        if cumulative >= rank and cumulative > previous:
+            return last_finite
+        previous = cumulative
+    return last_finite
+
+
+async def _telemetry_phase(args: argparse.Namespace) -> dict:
+    """Server-reported percentiles vs client-measured, same population.
+
+    A dedicated session so the two sides see the *identical* request
+    stream: one upload + one cold run + N cache hits, client-timed.
+    The server's bucket histogram reports a quantile as the upper bound
+    of its bucket (ladder ratio ~1.334x), and the client's stopwatch
+    additionally includes the loopback RTT — so the agreement contract
+    is: server_p <= client_p * 1.35 + 0.5ms (bucket ceiling never
+    exceeds the client's measurement by more than one bucket) and
+    client_p <= server_p + 25ms (RTT + scheduling, generous for CI).
+    """
+    server = DetectionServer(ServeConfig(
+        port=0, workers=1, runner=args.runner, request_timeout_s=300.0,
+    ))
+    host, port = await server.start()
+    client_ms = []
+    try:
+        async with await ServeClient.connect(host, port) as client:
+            graph = rmat_graph(10, edge_factor=8, seed=31)
+            t0 = time.perf_counter()
+            fingerprint = await client.upload(graph)
+            client_ms.append((time.perf_counter() - t0) * 1000.0)
+            for _ in range(20):
+                ms, response = await _timed_detect(client, fingerprint, seed=0)
+                assert response["ok"], response
+                client_ms.append(ms)
+            # rendered during dispatch: the exposition excludes the
+            # metrics request itself, so both sides see 21 samples
+            reply = await client.metrics()
+    finally:
+        await server.drain()
+
+    families = parse_prometheus_text(reply["exposition"])
+
+    def server_pct(name: str) -> float:
+        return float(sample_value(families, f"repro_serve_window_{name}_ms"))
+
+    comparison = {}
+    agree = True
+    for q, name in ((50, "p50"), (95, "p95"), (99, "p99")):
+        client_p = _pct(client_ms, q)
+        server_p = server_pct(name)
+        within = (
+            server_p <= client_p * 1.35 + 0.5
+            and client_p <= server_p + 25.0
+        )
+        agree = agree and within
+        comparison[name] = {
+            "client_ms": round(client_p, 3),
+            "server_ms": round(server_p, 3),
+            "within_tolerance": within,
+        }
+    count = sample_value(
+        families, "repro_serve_request_latency_ms", suffix="_count"
+    )
+    return {
+        "samples": len(client_ms),
+        "server_histogram_count": int(count),
+        "counts_match": int(count) == len(client_ms),
+        "percentiles": comparison,
+        "agree": agree,
+    }
+
+
 async def run(args: argparse.Namespace) -> dict:
     if args.smoke:
         hot_scale, cold_scales, hot_requests, per_client = 11, (10, 10), 10, 4
@@ -162,10 +255,14 @@ async def run(args: argparse.Namespace) -> dict:
         runner=args.runner,
         max_pending=max_pending,
         request_timeout_s=300.0,
+        metrics_port=args.metrics_port,
     ))
     t_boot = time.perf_counter()
     host, port = await server.start()
     boot_s = time.perf_counter() - t_boot
+    if server.metrics_port is not None:
+        print(f"metrics on http://{host}:{server.metrics_port}/metrics",
+              flush=True)
 
     hot_graph = rmat_graph(hot_scale, edge_factor=8, seed=7)
     cold_graphs = [
@@ -208,7 +305,29 @@ async def run(args: argparse.Namespace) -> dict:
     finally:
         clean = await server.drain()
 
+    print("phase: telemetry (server vs client percentiles) ...", flush=True)
+    report["telemetry"] = await _telemetry_phase(args)
+    print(f"  p99 client={report['telemetry']['percentiles']['p99']['client_ms']}ms "
+          f"server={report['telemetry']['percentiles']['p99']['server_ms']}ms",
+          flush=True)
+
     manifest = server.manifest(command="bench_serve")
+    # post-drain, the exposition and the drain manifest read the same
+    # cumulative bucket histogram: a scraper can recompute the manifest's
+    # p99 from the _bucket samples exactly, no tolerance
+    families = parse_prometheus_text(server.render_metrics_text())
+    exposition_count = sample_value(
+        families, "repro_serve_request_latency_ms", suffix="_count"
+    )
+    live = manifest.result["live"]
+    report["exposition_vs_manifest"] = {
+        "requests_exposition": int(exposition_count),
+        "requests_manifest": int(live["requests"]),
+        "p99_exposition_ms": _bucket_quantile(
+            families, "repro_serve_request_latency_ms", 0.99
+        ),
+        "p99_manifest_ms": live["p99_ms"],
+    }
     if args.manifest:
         obs.save_manifest(manifest, args.manifest)
         print(f"wrote serving manifest to {args.manifest}")
@@ -236,6 +355,10 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--smoke", action="store_true",
                         help="small graphs + hard asserts (the CI job)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="bind the HTTP /metrics listener on this port "
+                             "so an external scraper can hit the server "
+                             "mid-load (the CI smoke job curls it)")
     args = parser.parse_args()
 
     report = asyncio.run(run(args))
@@ -262,6 +385,15 @@ def main() -> None:
     assert report["overload"]["shed"] > 0, "overload burst was never shed"
     assert report["overload"]["ok"] > 0, "overload burst starved completely"
     assert report["overload"]["pings_answered_during_overload"] > 0
+    assert report["telemetry"]["counts_match"], (
+        "server histogram saw a different request count than the client sent"
+    )
+    assert report["telemetry"]["agree"], (
+        f"server/client percentiles disagree: {report['telemetry']['percentiles']}"
+    )
+    evm = report["exposition_vs_manifest"]
+    assert evm["requests_exposition"] == evm["requests_manifest"], evm
+    assert evm["p99_exposition_ms"] == evm["p99_manifest_ms"], evm
 
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=1)

@@ -79,6 +79,71 @@ def test_traced_run_overhead_under_5pct(benchmark, bench_scale):
     )
 
 
+def test_serve_telemetry_overhead_under_5pct(benchmark):
+    """The 5% pin extends to the serve path: a server with the full live
+    telemetry stack on (HTTP listener, request tracing, SLO monitor)
+    answers cache-hit requests within 5% of a bare server.
+
+    Hits are the right probe: they are pure serve-layer work (parse,
+    cache lookup, reply), so any per-request telemetry cost shows up
+    undiluted by engine time. Same interleaved min-of-ratios estimator
+    as the engine-path test.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.graph.generators import ring_of_cliques
+    from repro.serve import DetectionServer, ServeClient, ServeConfig
+
+    graph = ring_of_cliques(8, 6)
+    hits_per_sample = 50
+
+    async def hit_latency(cfg: "ServeConfig") -> list:
+        server = DetectionServer(cfg)
+        host, port = await server.start()
+        try:
+            async with await ServeClient.connect(host, port) as client:
+                fingerprint = await client.upload(graph)
+                await client.detect(fingerprint, seed=0)  # warm the cache
+                samples = []
+                for _ in range(2 + ROUNDS):
+                    start = time.perf_counter()
+                    for _ in range(hits_per_sample):
+                        await client.detect(fingerprint, seed=0)
+                    samples.append(
+                        (time.perf_counter() - start) / hits_per_sample
+                    )
+                return samples[2:]  # first two samples are warmup
+        finally:
+            await server.drain()
+
+    def measure():
+        with tempfile.TemporaryDirectory() as trace_dir:
+            plain = asyncio.run(
+                hit_latency(ServeConfig(port=0, runner="inline"))
+            )
+            telemetry = asyncio.run(
+                hit_latency(ServeConfig(
+                    port=0,
+                    runner="inline",
+                    metrics_port=0,
+                    trace_dir=trace_dir,
+                    slo="p99_ms=10000,error_rate=0.5",
+                ))
+            )
+        ratios = [t / p for p, t in zip(plain, telemetry)]
+        return float(np.min(plain)), float(np.min(ratios))
+
+    plain_s, ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    overhead = ratio - 1.0
+    print(f"\nhit={plain_s * 1e6:.0f}us overhead={overhead * 100:+.1f}%")
+    assert overhead < MAX_OVERHEAD, (
+        f"serve telemetry overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% pin"
+    )
+
+
 def test_traced_run_results_identical(bench_scale):
     graph = load_dataset("LJ", scale=min(bench_scale, 0.05))
     cfg = Phase1Config(pruning="mg")

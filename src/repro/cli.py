@@ -4,6 +4,7 @@ Commands
 --------
 ``detect``    Detect communities in an edge-list file with GALA.
 ``serve``     Run the long-lived detection service (see docs/serving.md).
+``top``       Live terminal dashboard for a running serve session.
 ``stats``     Print structural statistics of a graph file.
 ``generate``  Generate a synthetic benchmark graph to an edge-list file.
 ``report``    Render a run manifest (or diff two) as breakdown tables.
@@ -199,6 +200,29 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--manifest", default=None, metavar="PATH",
                    help="write the serving-session manifest here on "
                         "shutdown (input to 'repro report')")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="bind an HTTP listener for GET /metrics "
+                        "(Prometheus text) and GET /healthz on this port "
+                        "(0 = ephemeral; printed on startup)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write one merged cross-process Chrome trace per "
+                        "engine-running detect request into this directory "
+                        "(open in Perfetto)")
+    p.add_argument("--trace-keep", type=int, default=256,
+                   help="retention cap on written request traces")
+    p.add_argument("--slo", default=None, metavar="SPEC",
+                   help="SLO spec like 'p99_ms=250,error_rate=0.01'; "
+                        "violations flip /healthz to 503 and log a "
+                        "structured slo_violation event")
+    p.add_argument("--slo-window", type=float, default=60.0,
+                   help="rolling window (seconds) for the SLO evaluator "
+                        "and the live p50/p95/p99")
+    p.add_argument("--runtime", default=None,
+                   choices=["local", "multiprocess"],
+                   help="default execution runtime for detect requests "
+                        "that don't set one (never changes cache keys)")
+    p.add_argument("--ranks", type=int, default=None,
+                   help="default rank count for the multiprocess runtime")
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -218,6 +242,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         request_timeout_s=args.timeout if args.timeout > 0 else None,
         drain_timeout_s=args.drain_timeout,
+        metrics_port=args.metrics_port,
+        trace_dir=args.trace_dir,
+        trace_keep=args.trace_keep,
+        slo=args.slo,
+        slo_window_s=args.slo_window,
+        default_runtime=args.runtime,
+        default_ranks=args.ranks,
     )
     return asyncio.run(_serve_main(args, cfg))
 
@@ -250,6 +281,11 @@ async def _serve_main(args: argparse.Namespace, cfg) -> int:
     host, port = await server.start()
     print(f"serving on {host}:{port} (runner={cfg.runner} "
           f"workers={cfg.workers} max_pending={cfg.max_pending})", flush=True)
+    if server.metrics_port is not None:
+        print(f"metrics on http://{host}:{server.metrics_port}/metrics "
+              f"(health: /healthz)", flush=True)
+    if cfg.trace_dir:
+        print(f"tracing requests into {cfg.trace_dir}", flush=True)
 
     serve_task = asyncio.create_task(server.serve_forever())
     try:
@@ -273,6 +309,44 @@ async def _serve_main(args: argparse.Namespace, cfg) -> int:
           f"served {int(server.metrics.counter('serve/requests_total').value)} "
           f"requests, cache hit rate {stats['hit_rate']:.2f}")
     return 0
+
+
+def _add_top(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running serve session "
+             "(polls the metrics op or the HTTP /metrics exposition)",
+    )
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="poll over the JSONL protocol (the serve port)")
+    p.add_argument("--http", default=None, metavar="URL",
+                   help="poll by scraping a /metrics URL instead")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N polls (default: run until ^C)")
+    p.add_argument("--once", action="store_true",
+                   help="print one status block and exit (no screen clear)")
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    if args.connect is None and args.http is None:
+        print("repro top: --connect HOST:PORT or --http URL is required",
+              file=sys.stderr)
+        return 2
+    try:
+        return run_top(
+            connect=args.connect,
+            http=args.http,
+            interval_s=args.interval,
+            iterations=1 if args.once else args.iterations,
+            clear=not args.once,
+        )
+    except ValueError as exc:
+        print(f"repro top: {exc}", file=sys.stderr)
+        return 2
 
 
 def _add_report(sub: argparse._SubParsersAction) -> None:
@@ -318,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_detect(sub)
     _add_serve(sub)
+    _add_top(sub)
     _add_stats(sub)
     _add_generate(sub)
     _add_report(sub)
@@ -568,6 +643,7 @@ def main(argv: list[str] | None = None) -> int:
     return {
         "detect": cmd_detect,
         "serve": cmd_serve,
+        "top": cmd_top,
         "stats": cmd_stats,
         "generate": cmd_generate,
         "report": cmd_report,

@@ -38,9 +38,11 @@ the cross-runtime matrix).
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import shutil
 import signal
 import tempfile
+import time
 import traceback
 import weakref
 from dataclasses import dataclass, field
@@ -74,6 +76,11 @@ from repro.obs import _session as obs
 
 CMD_DECIDE = 1
 CMD_STOP = 2
+
+#: per-rank cap on collected decide spans (one per engine round); a run
+#: that exceeds it reports the overflow as a dropped count instead of
+#: growing the STOP-time payload without bound
+MAX_RANK_SPANS = 512
 
 
 @dataclass
@@ -129,6 +136,9 @@ class MultiprocessResult(EngineResult):
     views: list[RankView] = field(default_factory=list)
     stats: HaloStats = field(default_factory=HaloStats)
     num_ranks: int = 0
+    #: cumulative halo bytes *sent by each rank* across the run — the
+    #: per-rank split of ``stats.bytes_sent`` (index = rank)
+    rank_halo_bytes: list[int] = field(default_factory=list)
 
 
 def _set_pdeathsig() -> None:
@@ -153,8 +163,19 @@ def _worker_main(
     start_barrier,
     done_barrier,
     err_queue,
+    span_queue=None,
 ) -> None:
-    """Rank worker: attach shared state, loop decide rounds until STOP."""
+    """Rank worker: attach shared state, loop decide rounds until STOP.
+
+    With ``params["collect_spans"]`` the worker times each decide round
+    and ships the spans on ``span_queue`` when STOP arrives. Span times
+    are recorded directly in the *parent's* clock domain via the
+    barrier-release stamp: the parent writes its ``perf_counter`` into
+    the shared ``clock`` slot before releasing the start barrier, so
+    ``stamp + (now − t_wake)`` maps a rank-local instant onto the parent
+    clock with an error of one barrier wake latency — biased early,
+    which keeps rank spans inside the parent's enclosing span.
+    """
     _set_pdeathsig()
     # the parent owns interrupt handling; a Ctrl-C must not kill workers
     # mid-barrier before the parent's orderly shutdown reaches them
@@ -185,11 +206,22 @@ def _worker_main(
         status = shared["status"]
         next_comm = shared["next_comm"]
         active = shared["active"]
+        clock_slot = shared["clock"]
+        collect = bool(params.get("collect_spans")) and span_queue is not None
+        spans: list = []
+        dropped = 0
+        round_no = 0
 
         while True:
             start_barrier.wait()
             if control[0] == CMD_STOP:
+                if collect:
+                    try:
+                        span_queue.put((rank, os.getpid(), spans, dropped))
+                    except Exception:
+                        pass
                 break
+            t_wake = time.perf_counter() if collect else 0.0
             try:
                 idx = owned[active[owned]]
                 for sub in split_by_edges(
@@ -206,6 +238,25 @@ def _worker_main(
                 except Exception:
                     pass
             finally:
+                if collect:
+                    # the parent is still parked on the done barrier, so
+                    # the stamp it wrote for *this* round is still there
+                    stamp = float(clock_slot[0])
+                    if len(spans) < MAX_RANK_SPANS:
+                        spans.append(
+                            {
+                                "name": "rank/decide",
+                                "ph": "X",
+                                "start": stamp,
+                                "end": stamp + (time.perf_counter() - t_wake),
+                                "pid": os.getpid(),
+                                "tid": 0,
+                                "args": {"rank": rank, "round": round_no},
+                            }
+                        )
+                    else:
+                        dropped += 1
+                round_no += 1
                 done_barrier.wait()
     except BrokenBarrierError:
         pass  # the parent aborted the round; exit quietly
@@ -234,6 +285,11 @@ class MultiprocessExecutor(Executor):
         self.partition = part
         self.views = build_rank_views(graph, part)
         self.stats = HaloStats()
+        self.rank_bytes = [0] * cfg.num_ranks
+        #: collect per-round rank spans only when an obs session is live
+        #: at construction — the disabled path costs one flag check per
+        #: round in the workers and nothing in the parent
+        self._collect_spans = obs.active()
         self._closed = False
         self._spill_dir: str | None = None
         self._shared = None
@@ -282,6 +338,9 @@ class MultiprocessExecutor(Executor):
             .add("strength", (n,), np.float64)
             .add("status", (cfg.num_ranks,), np.int64)
             .add("control", (4,), np.int64)
+            # clock[0]: parent perf_counter stamp written before each
+            # barrier release — the rank-side clock-alignment reference
+            .add("clock", (2,), np.float64)
         )
         self._shared = create_shared(layout)
         self._shared["strength"][:] = graph.strength
@@ -293,9 +352,13 @@ class MultiprocessExecutor(Executor):
         self._start_barrier = ctx.Barrier(cfg.num_ranks + 1)
         self._done_barrier = ctx.Barrier(cfg.num_ranks + 1)
         self._err_queue = ctx.SimpleQueue()
+        self._span_queue = ctx.SimpleQueue() if self._collect_spans else None
         # registered before the first Process.start(): a failure while
         # spawning rank k still tears down ranks < k and the shm segment
-        # (self._workers is mutated in place, so the finalizer sees them)
+        # (self._workers is mutated in place, so the finalizer sees them).
+        # The finalizer path passes expected_spans=0: a GC teardown has
+        # no obs session to hand spans to, so it only drains the queue
+        # opportunistically to unblock workers parked on a full pipe.
         self._finalizer = weakref.finalize(
             self,
             _cleanup,
@@ -304,6 +367,8 @@ class MultiprocessExecutor(Executor):
             self._start_barrier,
             self._done_barrier,
             self._spill_dir,
+            self._span_queue,
+            0,
         )
         params = {
             "total_weight": graph.total_weight,
@@ -311,6 +376,7 @@ class MultiprocessExecutor(Executor):
             "remove_self": cfg.remove_self,
             "chunk_edges": cfg.chunk_edges,
             "release_pages": release_pages,
+            "collect_spans": self._collect_spans,
         }
         for view in self.views:
             proc = ctx.Process(
@@ -325,6 +391,7 @@ class MultiprocessExecutor(Executor):
                     self._start_barrier,
                     self._done_barrier,
                     self._err_queue,
+                    self._span_queue,
                 ),
                 daemon=True,
                 name=f"repro-rank{view.rank}",
@@ -343,6 +410,10 @@ class MultiprocessExecutor(Executor):
         shared["comm_size"][:] = state.comm_size
         shared["status"][:] = -1
         shared["control"][0] = CMD_DECIDE
+        if self._collect_spans:
+            # the barrier-release stamp the ranks align their clocks to;
+            # written last so it is as close to the release as possible
+            shared["clock"][0] = time.perf_counter()
         self._round()
         next_comm = np.array(shared["next_comm"])
         # per-rank movers for the halo accounting: exactly idx[result.move]
@@ -404,12 +475,15 @@ class MultiprocessExecutor(Executor):
         halo_span = obs.span("halo/exchange", ranks=len(self.views))
         with halo_span:
             for view, movers in zip(self.views, self._moved_per_rank):
+                view_bytes = 0
                 for dest, send_list in view.send_lists.items():
                     payload = np.intersect1d(movers, send_list, assume_unique=False)
                     if len(payload) == 0:
                         continue
-                    iteration_bytes += len(payload) * HALO_BYTES_PER_UPDATE
+                    view_bytes += len(payload) * HALO_BYTES_PER_UPDATE
                     iteration_messages += 1
+                self.rank_bytes[view.rank] += view_bytes
+                iteration_bytes += view_bytes
             halo_span.tag(bytes=iteration_bytes, messages=iteration_messages)
         obs.inc("comm/halo_bytes_total", iteration_bytes)
         obs.inc("comm/halo_messages_total", iteration_messages)
@@ -429,18 +503,33 @@ class MultiprocessExecutor(Executor):
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Stop workers, release the shared segment (idempotent)."""
+        """Stop workers, release the shared segment (idempotent).
+
+        When span collection was on, the ranks' decide spans arrive on
+        the span queue at STOP and are ingested into the active obs
+        tracer here — already in the parent's clock domain, labeled per
+        rank — so a traced multiprocess run (or a traced serve request)
+        shows every rank as its own process track.
+        """
         if self._closed:
             return
         self._closed = True
         self._finalizer.detach()
-        _cleanup(
+        payloads = _cleanup(
             self._workers,
             self._shared,
             self._start_barrier,
             self._done_barrier,
             self._spill_dir,
+            self._span_queue,
+            self.config.num_ranks if self._collect_spans else 0,
         )
+        if payloads:
+            tracer = obs.tracer()
+            for rank, pid, spans, dropped in payloads:
+                tracer.ingest(spans, labels={pid: f"rank[{rank}]"})
+                if dropped:
+                    obs.inc("obs/rank_spans_dropped", dropped)
 
     def __enter__(self) -> "MultiprocessExecutor":
         return self
@@ -449,11 +538,24 @@ class MultiprocessExecutor(Executor):
         self.close()
 
 
-def _cleanup(workers, shared, start_barrier, done_barrier, spill_dir) -> None:
+def _cleanup(
+    workers,
+    shared,
+    start_barrier,
+    done_barrier,
+    spill_dir,
+    span_queue=None,
+    expected_spans: int = 0,
+) -> list:
     """Shutdown path shared by close() and the GC finalizer.
 
     Module-level (not a bound method) so the weakref finalizer holds no
-    reference back to the executor.
+    reference back to the executor. Returns the rank span payloads
+    drained off ``span_queue`` (empty when collection was off).
+
+    The drain happens **before** the joins: a rank whose span payload
+    exceeds the pipe buffer blocks in ``put`` until someone reads, so
+    joining first would deadlock into the 5-second terminate path.
     """
     try:
         if shared is not None and shared.arrays:
@@ -474,6 +576,22 @@ def _cleanup(workers, shared, start_barrier, done_barrier, spill_dir) -> None:
         done_barrier.abort()
     except Exception:
         pass
+    payloads: list = []
+    if span_queue is not None:
+        deadline = time.monotonic() + 5.0
+        try:
+            while len(payloads) < expected_spans and time.monotonic() < deadline:
+                if span_queue.empty():
+                    if not any(p.is_alive() for p in workers):
+                        break
+                    time.sleep(0.005)
+                    continue
+                payloads.append(span_queue.get())
+            # opportunistic sweep: unblock any writer still in put()
+            while not span_queue.empty():
+                payloads.append(span_queue.get())
+        except Exception:
+            pass
     for proc in workers:
         proc.join(timeout=5.0)
     for proc in workers:
@@ -485,6 +603,7 @@ def _cleanup(workers, shared, start_barrier, done_barrier, spill_dir) -> None:
         shared.unlink()
     if spill_dir is not None:
         shutil.rmtree(spill_dir, ignore_errors=True)
+    return payloads
 
 
 def run_multiprocess_phase1(
@@ -518,4 +637,5 @@ def run_multiprocess_phase1(
         views=executor.views,
         stats=executor.stats,
         num_ranks=cfg.num_ranks,
+        rank_halo_bytes=list(executor.rank_bytes),
     )

@@ -35,6 +35,28 @@ from repro.obs.io import (
     validate_chrome_trace,
 )
 from repro.obs.report import diff_manifests, render_diff, render_manifest
+from repro.obs.collector import (
+    ClockSync,
+    TraceCollector,
+    build_request_trace,
+    make_span,
+    shift_spans,
+)
+from repro.obs.exposition import (
+    parse_prometheus_text,
+    render_prometheus,
+    sample_value,
+    sanitize_metric_name,
+)
+from repro.obs.live import (
+    BUCKET_BOUNDS_MS,
+    BucketHistogram,
+    SlidingWindowHistogram,
+    SloMonitor,
+    SloPolicy,
+    WindowedCounter,
+    parse_slo_spec,
+)
 from repro.obs._session import (
     ObsSession,
     active,
@@ -83,4 +105,23 @@ __all__ = [
     "render_manifest",
     "diff_manifests",
     "render_diff",
+    # live telemetry
+    "BUCKET_BOUNDS_MS",
+    "BucketHistogram",
+    "SlidingWindowHistogram",
+    "WindowedCounter",
+    "SloPolicy",
+    "SloMonitor",
+    "parse_slo_spec",
+    # exposition
+    "render_prometheus",
+    "parse_prometheus_text",
+    "sample_value",
+    "sanitize_metric_name",
+    # cross-process collection
+    "ClockSync",
+    "TraceCollector",
+    "build_request_trace",
+    "make_span",
+    "shift_spans",
 ]

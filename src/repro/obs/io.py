@@ -80,7 +80,7 @@ def iter_metrics_jsonl(path: str) -> Iterator[Dict[str, Any]]:
 # --------------------------------------------------------------------- #
 # trace validation (used by the schema tests and `repro report --check`)
 # --------------------------------------------------------------------- #
-_VALID_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+_VALID_PHASES = {"X", "B", "E", "i", "I", "C", "M", "s", "t", "f"}
 
 
 def validate_chrome_trace(trace: Union[str, Dict[str, Any]]) -> Dict[str, Any]:

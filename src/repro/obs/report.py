@@ -99,6 +99,27 @@ def _serve_lines(manifest: RunManifest) -> List[str]:
             f"bytes={int(gauges.get('serve/registry/bytes', 0))} "
             f"evictions={int(gauges.get('serve/registry/evictions', 0))}"
         )
+    live = r.get("live")
+    if live and live.get("requests"):
+        lines.append(
+            f"live: requests={live['requests']} "
+            f"p50={float(live.get('p50_ms') or 0.0):.2f}ms "
+            f"p95={float(live.get('p95_ms') or 0.0):.2f}ms "
+            f"p99={float(live.get('p99_ms') or 0.0):.2f}ms "
+            f"(bucket histogram — matches /metrics exactly)"
+        )
+    slo = r.get("slo")
+    if slo:
+        policy = slo.get("policy") or {}
+        targets = " ".join(
+            f"{k}={v}" for k, v in policy.items() if v is not None
+        )
+        lines.append(
+            f"slo: {'healthy' if slo.get('healthy') else 'VIOLATING'} "
+            f"violations={slo.get('violations', 0)} ({targets})"
+        )
+    if r.get("traces_written"):
+        lines.append(f"traces: {r['traces_written']} request trace(s) written")
     return lines
 
 

@@ -1,0 +1,141 @@
+"""``repro top`` — a terminal dashboard for a live serving session.
+
+Polls the server's telemetry on an interval and reprints one compact
+status block: request rate, cache hit rate, window p50/p95/p99, backlog,
+workers, sheds, SLO state. Curses-free on purpose — plain reprinted
+text works in any terminal, under ``watch``, inside CI logs, and over
+the dumbest SSH session; the dashboard is ~a screenful, so ANSI
+clear-and-home is all the "UI" needed (and ``--once`` skips even that).
+
+Two transports, same numbers:
+
+* the JSONL ``metrics`` op (``--connect host:port``) returns the
+  dashboard summary directly — the default, since the JSONL port always
+  exists;
+* the HTTP exposition (``--http URL``) scrapes ``/metrics`` and
+  reconstructs the summary from the parsed families — the path a real
+  Prometheus would take, so the dashboard doubles as a living test that
+  the exposition carries everything an external scraper needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.obs.exposition import parse_prometheus_text, sample_value
+
+__all__ = ["fetch_summary_jsonl", "fetch_summary_http", "render_top", "run_top"]
+
+
+def fetch_summary_jsonl(host: str, port: int) -> Dict[str, Any]:
+    """One ``metrics`` round-trip over the JSONL protocol."""
+    from repro.serve.client import ServeClient
+
+    async def go() -> Dict[str, Any]:
+        client = await ServeClient.connect(host, port)
+        try:
+            reply = await client.metrics(exposition=False)
+            return reply["summary"]
+        finally:
+            await client.close()
+
+    return asyncio.run(go())
+
+
+def fetch_summary_http(url: str, timeout_s: float = 5.0) -> Dict[str, Any]:
+    """Scrape ``/metrics`` and rebuild the summary from the families."""
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        text = response.read().decode("utf-8")
+    families = parse_prometheus_text(text)
+
+    def g(name: str, default: float = 0.0) -> float:
+        value = sample_value(families, f"repro_{name}")
+        return default if value is None else value
+
+    return {
+        "uptime_s": g("serve_uptime_s"),
+        "requests_total": g("serve_requests_total"),
+        "req_per_s": g("serve_req_per_s"),
+        "window_requests": g("serve_window_requests"),
+        "window_errors": g("serve_window_errors"),
+        "window_p50_ms": g("serve_window_p50_ms"),
+        "window_p95_ms": g("serve_window_p95_ms"),
+        "window_p99_ms": g("serve_window_p99_ms"),
+        "cache_hit_rate": g("serve_cache_hit_rate"),
+        "shed_total": g("serve_shed_total"),
+        "inflight": g("serve_backlog_depth"),
+        "workers": g("serve_pool_workers"),
+        "worker_restarts": g("serve_pool_respawns"),
+        "healthy": bool(g("serve_healthy", 1.0)),
+    }
+
+
+def render_top(summary: Dict[str, Any]) -> str:
+    """The status block for one poll."""
+    from repro.bench.reporting import format_table
+
+    slo = summary.get("slo")
+    if slo is not None:
+        health = "OK" if slo.get("healthy") else "VIOLATING"
+        health += f" (violations={slo.get('violations', 0)})"
+    elif "healthy" in summary:
+        health = "OK" if summary["healthy"] else "VIOLATING"
+    else:
+        health = "n/a"
+    rows = [
+        {
+            "req/s": round(float(summary.get("req_per_s", 0.0)), 2),
+            "total": int(summary.get("requests_total", 0)),
+            "hit_rate": round(float(summary.get("cache_hit_rate", 0.0)), 2),
+            "p50_ms": round(float(summary.get("window_p50_ms", 0.0)), 2),
+            "p95_ms": round(float(summary.get("window_p95_ms", 0.0)), 2),
+            "p99_ms": round(float(summary.get("window_p99_ms", 0.0)), 2),
+            "backlog": int(summary.get("inflight", 0)),
+            "workers": int(summary.get("workers", 0)),
+            "restarts": int(summary.get("worker_restarts", 0)),
+            "shed": int(summary.get("shed_total", 0)),
+        }
+    ]
+    uptime = float(summary.get("uptime_s", 0.0))
+    title = (
+        f"repro serve — up {uptime:.0f}s — slo {health} — "
+        f"{time.strftime('%H:%M:%S')}"
+    )
+    return format_table(rows, title=title)
+
+
+def run_top(
+    connect: Optional[str] = None,
+    http: Optional[str] = None,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+) -> int:
+    """The poll loop. ``iterations=None`` runs until interrupted."""
+    if (connect is None) == (http is None):
+        raise ValueError("exactly one of connect/http is required")
+    if connect is not None:
+        host, _, port = connect.rpartition(":")
+        fetch = lambda: fetch_summary_jsonl(host or "127.0.0.1", int(port))  # noqa: E731
+    else:
+        fetch = lambda: fetch_summary_http(http)  # noqa: E731
+    n = 0
+    try:
+        while iterations is None or n < iterations:
+            try:
+                block = render_top(fetch())
+            except (ConnectionError, OSError) as exc:
+                block = f"repro top: server unreachable ({exc})"
+            if clear and n > 0:
+                print("\x1b[2J\x1b[H", end="")
+            print(block, flush=True)
+            n += 1
+            if iterations is not None and n >= iterations:
+                break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

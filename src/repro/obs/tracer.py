@@ -21,9 +21,10 @@ Two cost regimes:
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 
 class _NullSpan:
@@ -85,6 +86,12 @@ class Tracer:
         #: dicts and the small per-thread track ids are built lazily in
         #: :meth:`events`, so a span costs one tuple append
         self._raw: List[tuple] = []
+        #: spans adopted from other processes (:meth:`ingest`) — wire
+        #: dicts whose times are already in *this* tracer's clock domain
+        self._foreign: List[Dict[str, Any]] = []
+        #: process labels for foreign pids, rendered as ``process_name``
+        #: metadata so Perfetto names the extra tracks
+        self._labels: Dict[int, str] = {}
 
     @property
     def enabled(self) -> bool:
@@ -112,6 +119,65 @@ class Tracer:
         """Record a counter sample (renders as a stacked area track)."""
         now = self._clock()
         self._raw.append(("C", name, now, now, threading.get_ident(), values))
+
+    # ------------------------------------------------------------------ #
+    # cross-process span transport
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        spans: Iterable[Dict[str, Any]],
+        labels: Optional[Dict[int, str]] = None,
+    ) -> None:
+        """Adopt spans recorded in another process.
+
+        ``spans`` are wire dicts (``name``/``ph``/``start``/``end``/
+        ``pid``/``tid``, optional ``args``) whose ``start``/``end`` are
+        absolute seconds **already mapped into this tracer's clock
+        domain** — the caller applies the clock-sync offset before
+        ingesting. ``labels`` names the foreign pids for the trace
+        viewer (``{pid: "rank[0]"}``).
+        """
+        if labels:
+            self._labels.update({int(k): str(v) for k, v in labels.items()})
+        for span in spans:
+            self._foreign.append(span)
+
+    def export_spans(self, limit: int = 4096) -> Dict[str, Any]:
+        """This tracer's spans as a portable payload.
+
+        Wire times are absolute ``perf_counter`` seconds in *this*
+        process's clock domain; the receiver shifts them by its clock
+        offset and hands them to :meth:`ingest` on its own tracer.
+        Already-ingested foreign spans are passed through unchanged (a
+        worker relays its ranks' spans to the server this way), so the
+        payload may span several pids. At most ``limit`` spans ship;
+        the rest are counted in ``dropped``.
+        """
+        own_pid = os.getpid()
+        spans: List[Dict[str, Any]] = []
+        tids: Dict[int, int] = {}
+        for ph, name, start, end, ident, args in list(self._raw):
+            tid = tids.get(ident)
+            if tid is None:
+                tid = tids[ident] = len(tids)
+            span: Dict[str, Any] = {
+                "name": name,
+                "ph": ph,
+                "start": start,
+                "end": end,
+                "pid": own_pid,
+                "tid": tid,
+            }
+            if args is not None:
+                span["args"] = args
+            spans.append(span)
+        spans.extend(self._foreign)
+        dropped = max(0, len(spans) - limit)
+        if dropped:
+            spans = spans[:limit]
+        labels = dict(self._labels)
+        labels.setdefault(own_pid, self.process_name)
+        return {"spans": spans, "labels": labels, "dropped": dropped}
 
     # ------------------------------------------------------------------ #
     def events(self) -> List[Dict[str, Any]]:
@@ -145,6 +211,22 @@ class Tracer:
                     {k: float(v) for k, v in args.items()} if ph == "C" else args
                 )
             events.append(event)
+        for span in list(self._foreign):
+            event = {
+                "name": span["name"],
+                "ph": span.get("ph", "X"),
+                "ts": (span["start"] - t0) * 1e6,
+                "pid": span.get("pid", 0),
+                "tid": span.get("tid", 0),
+                "cat": span.get("cat", span["name"].split("/", 1)[0]),
+            }
+            if event["ph"] == "X":
+                event["dur"] = (span["end"] - span["start"]) * 1e6
+            elif event["ph"] == "i":
+                event["s"] = "t"
+            if span.get("args") is not None:
+                event["args"] = span["args"]
+            events.append(event)
         return events
 
     def to_chrome(self) -> Dict[str, Any]:
@@ -159,6 +241,16 @@ class Tracer:
                 "args": {"name": self.process_name},
             }
         ]
+        for pid in sorted(self._labels):
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": self._labels[pid]},
+                }
+            )
         return {
             "traceEvents": meta + events,
             "displayTimeUnit": "ms",
@@ -190,6 +282,16 @@ class NullTracer:
 
     def counter(self, name: str, **values: float) -> None:
         return None
+
+    def ingest(
+        self,
+        spans: Iterable[Dict[str, Any]],
+        labels: Optional[Dict[int, str]] = None,
+    ) -> None:
+        return None
+
+    def export_spans(self, limit: int = 4096) -> Dict[str, Any]:
+        return {"spans": [], "labels": {}, "dropped": 0}
 
     def events(self) -> List[Dict[str, Any]]:
         return []

@@ -36,6 +36,7 @@ from repro.serve.pool import (
     WorkerPool,
 )
 from repro.serve.protocol import ProtocolError, graph_from_payload, graph_to_payload
+from repro.serve.http import TelemetryHTTPServer
 from repro.serve.registry import GraphRegistry, RegisteredGraph, graph_nbytes
 from repro.serve.server import DetectionServer, ServeConfig
 
@@ -43,6 +44,7 @@ __all__ = [
     # server
     "DetectionServer",
     "ServeConfig",
+    "TelemetryHTTPServer",
     # registry
     "GraphRegistry",
     "RegisteredGraph",

@@ -128,6 +128,13 @@ class ServeClient:
     async def stats(self) -> Dict[str, Any]:
         return await self._checked({"op": "stats"}, True)
 
+    async def metrics(self, exposition: bool = True) -> Dict[str, Any]:
+        """Live telemetry: dashboard summary + (optionally) the same
+        Prometheus text the HTTP ``/metrics`` endpoint serves."""
+        return await self._checked(
+            {"op": "metrics", "exposition": exposition}, True
+        )
+
     async def graphs(self) -> Dict[str, Any]:
         return await self._checked({"op": "graphs"}, True)
 

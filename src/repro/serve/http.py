@@ -1,0 +1,104 @@
+"""Minimal HTTP listener for ``GET /metrics`` and ``GET /healthz``.
+
+Prometheus scrapers and load-balancer health checks speak HTTP, not our
+JSONL protocol, so the server optionally binds a second socket
+(``serve --metrics-port``) that answers exactly two GET paths and
+nothing else. It shares the server's asyncio loop — rendering an
+exposition is dictionary walking, never an engine run — and closes every
+connection after one response (``Connection: close``), which is all a
+scrape needs and spares us keep-alive bookkeeping.
+
+Deliberately not a web framework: no routing table, no middleware, no
+dependency. ~100 lines of stdlib asyncio is the whole surface, which is
+the right size for an endpoint whose only job is to hand out text.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+__all__ = ["TelemetryHTTPServer"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class TelemetryHTTPServer:
+    """The ``/metrics`` + ``/healthz`` sidecar listener.
+
+    ``GET /metrics``  → 200, Prometheus text exposition 0.0.4
+    ``GET /healthz``  → 200 (healthy) or 503 (draining / SLO violated),
+                        JSON status body either way
+    anything else     → 404 (unknown path) or 405 (non-GET)
+    """
+
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0):
+        self._detection_server = server
+        self.host = host
+        self.port = port
+        self._http: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> int:
+        """Bind and return the actual port (resolves port 0)."""
+        self._http = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._http.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._http is not None:
+            self._http.close()
+            await self._http.wait_closed()
+            self._http = None
+
+    # ------------------------------------------------------------------ #
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line or len(request_line) > _MAX_REQUEST_BYTES:
+                return
+            # drain headers up to the blank line; we never use them
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._respond(request_line)
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+
+    def _respond(self, request_line: bytes) -> Tuple[str, str, bytes]:
+        try:
+            method, path, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return "400 Bad Request", "text/plain", b"bad request line\n"
+        path = path.split("?", 1)[0]
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain", b"GET only\n"
+        if path == "/metrics":
+            text = self._detection_server.render_metrics_text()
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                text.encode("utf-8"),
+            )
+        if path == "/healthz":
+            healthy, status = self._detection_server.health()
+            body = (json.dumps(status, sort_keys=True) + "\n").encode("utf-8")
+            code = "200 OK" if healthy else "503 Service Unavailable"
+            return code, "application/json", body
+        return "404 Not Found", "text/plain", b"not found\n"

@@ -26,6 +26,7 @@ import asyncio
 import dataclasses
 import multiprocessing
 import os
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Optional
 
@@ -33,6 +34,7 @@ import numpy as np
 
 from repro.core.gala import GalaConfig
 from repro.graph.csr import CSRGraph
+from repro.obs.collector import ClockSync, make_span, shift_spans
 
 
 class DetectionFailed(Exception):
@@ -67,11 +69,59 @@ def result_payload(result) -> Dict[str, Any]:
     }
 
 
+def run_counters(result) -> Dict[str, Any]:
+    """Compact per-run accounting a runner ships on *every* reply.
+
+    Everything here comes off the result's iteration history — no obs
+    session required, so an untraced worker still reports the kernel
+    backends it used, the iterations it ran, and (for multiprocess
+    runs) per-rank halo bytes. This is what keeps the server-side
+    aggregates exact: before this record existed, worker subprocesses
+    dropped their accounting on the floor unless a manifest was
+    requested, and server totals undercounted every normal request.
+    """
+    levels = getattr(result, "levels", None)
+    if levels is not None:
+        phase1s = [lvl.phase1 for lvl in levels]
+    else:
+        phase1s = [result]
+    counters: Dict[str, Any] = {
+        "detections": 1,
+        "levels": len(phase1s),
+        "iterations": 0,
+        "comm_bytes": 0,
+        "kernel_backends": {},
+    }
+    rank_halo: Dict[int, int] = {}
+    for phase1 in phase1s:
+        for trace in getattr(phase1, "history", []):
+            counters["iterations"] += 1
+            counters["comm_bytes"] += int(getattr(trace, "comm_bytes", 0) or 0)
+            backend = getattr(trace, "kernel_backend", None)
+            if backend is not None:
+                kb = counters["kernel_backends"]
+                kb[backend] = kb.get(backend, 0) + 1
+        per_rank = getattr(phase1, "rank_halo_bytes", None)
+        if per_rank:
+            for rank, nbytes in enumerate(per_rank):
+                rank_halo[rank] = rank_halo.get(rank, 0) + int(nbytes)
+    if rank_halo:
+        counters["rank_halo_bytes"] = {str(k): v for k, v in rank_halo.items()}
+    return counters
+
+
 # --------------------------------------------------------------------- #
 # the runner seam
 # --------------------------------------------------------------------- #
 class DetectionRunner(ABC):
     """One detection request in, one plain result dict out."""
+
+    def __init__(self) -> None:
+        #: cross-request aggregates folded from every reply's run
+        #: counters — the server bridges these into its metrics
+        self.worker_totals: Dict[str, int] = {}
+        self.kernel_backends: Dict[str, int] = {}
+        self.rank_halo_bytes: Dict[str, int] = {}
 
     async def start(self) -> None:
         """Bring up whatever the runner needs (worker processes)."""
@@ -82,10 +132,13 @@ class DetectionRunner(ABC):
         graph: CSRGraph,
         config: GalaConfig,
         timeout: Optional[float] = None,
+        collect_spans: bool = False,
     ) -> Dict[str, Any]:
         """Run one detection; raises :class:`DetectionFailed` /
         :class:`DetectionTimeout`. Cancellation must leave the runner
-        usable for the next request."""
+        usable for the next request. With ``collect_spans`` the result
+        dict carries a ``telemetry`` entry whose ``spans`` are wire
+        spans already mapped into *this* process's clock domain."""
 
     async def stop(self) -> None:
         """Tear down (idempotent)."""
@@ -93,12 +146,27 @@ class DetectionRunner(ABC):
     def stats(self) -> Dict[str, Any]:
         return {}
 
+    def _fold_counters(self, counters: Optional[Dict[str, Any]]) -> None:
+        """Accumulate one reply's run counters into the runner totals."""
+        if not counters:
+            return
+        totals = self.worker_totals
+        for key in ("detections", "levels", "iterations", "comm_bytes"):
+            totals[key] = totals.get(key, 0) + int(counters.get(key, 0) or 0)
+        for backend, count in (counters.get("kernel_backends") or {}).items():
+            kb = self.kernel_backends
+            kb[backend] = kb.get(backend, 0) + int(count)
+        for rank, nbytes in (counters.get("rank_halo_bytes") or {}).items():
+            rh = self.rank_halo_bytes
+            rh[str(rank)] = rh.get(str(rank), 0) + int(nbytes)
+
 
 class InlineRunner(DetectionRunner):
     """Run engines in-process (a worker thread). Tests and smoke only —
     see the module docstring for why this cannot serve traffic."""
 
     def __init__(self):
+        super().__init__()
         self.runs = 0
 
     async def run(
@@ -106,6 +174,7 @@ class InlineRunner(DetectionRunner):
         graph: CSRGraph,
         config: GalaConfig,
         timeout: Optional[float] = None,
+        collect_spans: bool = False,
     ) -> Dict[str, Any]:
         from repro.core.gala import gala
 
@@ -113,12 +182,44 @@ class InlineRunner(DetectionRunner):
         loop = asyncio.get_running_loop()
 
         def _work() -> Dict[str, Any]:
-            return result_payload(gala(graph, config))
+            t_start = time.perf_counter()
+            if collect_spans:
+                from repro import obs
+
+                with obs.session(process_name="serve-inline") as sess:
+                    result = gala(graph, config)
+                exported = sess.tracer.export_spans()
+            else:
+                result = gala(graph, config)
+                exported = None
+            payload = result_payload(result)
+            # same clock, same process: spans need no offset, and the
+            # detect span brackets the engine run exactly
+            t_end = time.perf_counter()
+            telemetry: Dict[str, Any] = {
+                "pid": os.getpid(),
+                "counters": run_counters(result),
+            }
+            if exported is not None:
+                spans = [
+                    make_span(
+                        "worker/detect", t_start, t_end,
+                        args={"runner": "inline"},
+                    )
+                ]
+                spans.extend(exported["spans"])
+                telemetry["spans"] = spans
+                telemetry["labels"] = exported["labels"]
+                telemetry["dropped"] = exported["dropped"]
+            payload["telemetry"] = telemetry
+            return payload
 
         try:
-            return await asyncio.wait_for(
+            payload = await asyncio.wait_for(
                 loop.run_in_executor(None, _work), timeout
             )
+            self._fold_counters(payload["telemetry"].get("counters"))
+            return payload
         except asyncio.TimeoutError:
             # the thread keeps running (no way to kill it) — precisely
             # the deficiency the subprocess pool exists to fix
@@ -131,7 +232,13 @@ class InlineRunner(DetectionRunner):
             raise DetectionFailed(f"{type(exc).__name__}: {exc}") from exc
 
     def stats(self) -> Dict[str, Any]:
-        return {"kind": "inline", "runs": self.runs}
+        return {
+            "kind": "inline",
+            "runs": self.runs,
+            "worker_totals": dict(self.worker_totals),
+            "kernel_backends": dict(self.kernel_backends),
+            "rank_halo_bytes": dict(self.rank_halo_bytes),
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -143,20 +250,37 @@ def _worker_main(conn, graph_cache_size: int) -> None:
     Runs in a fresh (spawned) interpreter. SIGINT is ignored — a Ctrl+C
     in the server's terminal reaches the whole process group, and
     shutdown must stay the parent's decision (it drains, then sends
-    ``stop``)."""
+    ``stop``). Workers are *not* daemonic (a multiprocess-runtime job
+    spawns rank children, which daemonic processes may not do), so they
+    arm PDEATHSIG instead: if the server dies without draining, the
+    kernel reaps the worker.
+
+    Every reply carries a ``telemetry`` record: the worker-clock receive
+    and send stamps that drive the parent's clock sync, plus the run
+    counters (:func:`run_counters`) on success. When the job asks for
+    spans, the run executes under an obs session and the session's spans
+    (including any rank spans the multiprocess executor ingested) ship
+    back in the worker's clock domain.
+    """
     import signal
     from collections import OrderedDict
 
+    from repro.multiprocess.runtime import _set_pdeathsig
+
+    _set_pdeathsig()
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
+    from repro import obs
     from repro.core.gala import GalaConfig, gala
 
+    clock = time.perf_counter
     graphs: "OrderedDict[str, CSRGraph]" = OrderedDict()
     while True:
         try:
             msg = conn.recv()
         except (EOFError, OSError):
             break
+        t_job_recv = clock()
         op = msg.get("op")
         if op == "stop":
             break
@@ -192,12 +316,38 @@ def _worker_main(conn, graph_cache_size: int) -> None:
                 conn.send({"ok": False, "need_graph": True})
                 continue
             graphs.move_to_end(fp)
-            result = gala(graph, GalaConfig(**msg["config"]))
+            want_spans = bool((msg.get("telemetry") or {}).get("spans"))
+            if want_spans:
+                with obs.session(process_name="serve-worker") as sess:
+                    result = gala(graph, GalaConfig(**msg["config"]))
+                exported = sess.tracer.export_spans()
+            else:
+                result = gala(graph, GalaConfig(**msg["config"]))
+                exported = None
             reply = result_payload(result)
             reply["ok"] = True
+            telemetry: Dict[str, Any] = {
+                "pid": os.getpid(),
+                "t_job_recv": t_job_recv,
+                "counters": run_counters(result),
+            }
+            if exported is not None:
+                telemetry["spans"] = exported["spans"]
+                telemetry["labels"] = exported["labels"]
+                telemetry["dropped"] = exported["dropped"]
+            reply["telemetry"] = telemetry
+            telemetry["t_reply_send"] = clock()
             conn.send(reply)
         except Exception as exc:  # noqa: BLE001 - the reply IS the report
-            conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+            conn.send({
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "telemetry": {
+                    "pid": os.getpid(),
+                    "t_job_recv": t_job_recv,
+                    "t_reply_send": clock(),
+                },
+            })
 
 
 class _WorkerHandle:
@@ -205,14 +355,19 @@ class _WorkerHandle:
 
     def __init__(self, ctx, graph_cache_size: int):
         self.conn, child = ctx.Pipe(duplex=True)
+        # daemon=False: a daemonic process may not have children, and a
+        # worker running a runtime="multiprocess" job spawns one process
+        # per rank. Orphan protection comes from PDEATHSIG in the worker
+        # (and from the pipe: a closed parent end reads as EOF → exit).
         self.process = ctx.Process(
             target=_worker_main,
             args=(child, graph_cache_size),
-            daemon=True,
+            daemon=False,
         )
         self.process.start()
         child.close()
         self.known: set[str] = set()
+        self.pid: Optional[int] = self.process.pid
 
     def send(self, msg: Dict[str, Any]) -> None:
         self.conn.send(msg)
@@ -264,6 +419,7 @@ class WorkerPool(DetectionRunner):
         mp_context: str = "spawn",
         worker_graph_cache: int = 8,
     ):
+        super().__init__()
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -320,6 +476,7 @@ class WorkerPool(DetectionRunner):
         graph: CSRGraph,
         config: GalaConfig,
         timeout: Optional[float] = None,
+        collect_spans: bool = False,
     ) -> Dict[str, Any]:
         if self._closed:
             raise PoolClosed("worker pool is stopped")
@@ -330,14 +487,17 @@ class WorkerPool(DetectionRunner):
             "op": "detect",
             "fingerprint": fp,
             "config": dataclasses.asdict(config),
+            "telemetry": {"spans": collect_spans},
         }
         if fp not in handle.known:
             job["graph"] = self._graph_payload(graph)
         try:
+            t_send = time.perf_counter()
             handle.send(job)
             reply = await asyncio.wait_for(
                 loop.run_in_executor(None, handle.recv), timeout
             )
+            t_recv = time.perf_counter()
         except asyncio.TimeoutError:
             self._replace(handle)
             raise DetectionTimeout(
@@ -360,16 +520,64 @@ class WorkerPool(DetectionRunner):
             # our known-set still listed it; re-submit with the payload
             handle.known.discard(fp)
             self._idle.put_nowait(handle)
-            return await self.run(graph, config, timeout=timeout)
+            return await self.run(
+                graph, config, timeout=timeout, collect_spans=collect_spans
+            )
         handle.known.add(fp)
         self._idle.put_nowait(handle)
+        worker_telemetry = reply.get("telemetry") or {}
+        self._fold_counters(worker_telemetry.get("counters"))
         if not reply.get("ok"):
             raise DetectionFailed(reply.get("error", "unknown worker error"))
-        return {
+        result = {
             "communities": reply["communities"],
             "modularity": reply["modularity"],
             "num_levels": reply["num_levels"],
             "iterations": reply["iterations"],
+        }
+        if collect_spans and "t_job_recv" in worker_telemetry:
+            result["telemetry"] = self._server_domain_telemetry(
+                worker_telemetry, t_send, t_recv
+            )
+        return result
+
+    def _server_domain_telemetry(
+        self,
+        telemetry: Dict[str, Any],
+        t_send: float,
+        t_recv: float,
+    ) -> Dict[str, Any]:
+        """Map one reply's spans into this process's clock domain.
+
+        The NTP bounds guarantee the synthesized ``worker/detect`` span
+        — exactly the worker's service interval — lands strictly inside
+        ``[t_send, t_recv]``, so worker (and relayed rank) spans nest
+        under the caller's dispatch span with no tolerance games.
+        """
+        t_job_recv = telemetry["t_job_recv"]
+        t_reply_send = telemetry["t_reply_send"]
+        sync = ClockSync.from_handshake(t_send, t_job_recv, t_reply_send, t_recv)
+        pid = int(telemetry.get("pid", 0))
+        spans = [
+            make_span(
+                "worker/detect",
+                t_job_recv + sync.offset,
+                t_reply_send + sync.offset,
+                pid=pid,
+                args={"clock_uncertainty_us": round(sync.uncertainty * 1e6, 1)},
+            )
+        ]
+        spans.extend(shift_spans(telemetry.get("spans") or [], sync.offset))
+        labels = {int(k): v for k, v in (telemetry.get("labels") or {}).items()}
+        labels.setdefault(pid, "serve-worker")
+        return {
+            "pid": pid,
+            "spans": spans,
+            "labels": labels,
+            "dropped": int(telemetry.get("dropped", 0)),
+            "clock_offset_s": sync.offset,
+            "clock_uncertainty_s": sync.uncertainty,
+            "counters": telemetry.get("counters"),
         }
 
     async def stop(self) -> None:
@@ -395,4 +603,7 @@ class WorkerPool(DetectionRunner):
             "workers": self.workers,
             "idle": self._idle.qsize(),
             "respawns": self.respawns,
+            "worker_totals": dict(self.worker_totals),
+            "kernel_backends": dict(self.kernel_backends),
+            "rank_halo_bytes": dict(self.rank_halo_bytes),
         }

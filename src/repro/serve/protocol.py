@@ -16,6 +16,7 @@ Operations
 ``stats``    server metrics + cache/registry/pool counters
 ``graphs``   list resident graphs
 ``evict``    drop a graph (and its cached results)
+``metrics``  live telemetry: dashboard summary + Prometheus exposition
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ STATUS = {
     "internal": 500,
 }
 
-KNOWN_OPS = ("ping", "upload", "detect", "stats", "graphs", "evict")
+KNOWN_OPS = ("ping", "upload", "detect", "stats", "graphs", "evict", "metrics")
 
 
 class ProtocolError(ValueError):
@@ -152,13 +153,22 @@ def graph_to_payload(graph: CSRGraph) -> Dict[str, Any]:
 # --------------------------------------------------------------------- #
 # detect requests
 # --------------------------------------------------------------------- #
-def parse_detect_config(message: Dict[str, Any]):
+def parse_detect_config(
+    message: Dict[str, Any],
+    defaults: Optional[Dict[str, Any]] = None,
+):
     """Build the :class:`~repro.core.gala.GalaConfig` for one request.
 
     The request's ``config`` object maps straight onto ``GalaConfig``
     fields; a top-level ``seed`` overrides the config's. Unknown fields
     are a ``bad_request`` — silently ignoring a typoed knob would cache
     the result under the key the caller *thinks* they asked for.
+
+    ``defaults`` are server-side config fields (e.g. the ``repro serve
+    --runtime multiprocess --ranks 2`` execution defaults) applied only
+    where the request is silent — and since execution fields are
+    excluded from ``GalaConfig.cache_key()``, they never fork the
+    result-cache keyspace.
     """
     import dataclasses
 
@@ -174,6 +184,8 @@ def parse_detect_config(message: Dict[str, Any]):
             "bad_request", f"unknown config fields: {sorted(unknown)}"
         )
     raw = dict(raw)
+    for key, value in (defaults or {}).items():
+        raw.setdefault(key, value)
     seed = message.get("seed")
     if seed is not None:
         raw["seed"] = int(seed)

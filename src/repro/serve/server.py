@@ -33,12 +33,24 @@ so ``repro report`` renders a serving session like any other run.
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import time
+import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.collector import TraceCollector, build_request_trace, make_span
+from repro.obs.exposition import render_prometheus
+from repro.obs.live import (
+    SlidingWindowHistogram,
+    SloMonitor,
+    WindowedCounter,
+    parse_slo_spec,
+)
 from repro.obs.manifest import RunManifest, _config_dict
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.serve.cache import CachedResult, ResultCache
 from repro.serve.pool import (
     DetectionFailed,
@@ -94,6 +106,24 @@ class ServeConfig:
     line_limit: int = DEFAULT_LINE_LIMIT
     #: multiprocessing start method for the pool
     mp_context: str = "spawn"
+    #: bind an HTTP listener on this port for ``GET /metrics`` +
+    #: ``GET /healthz`` (None = no listener; 0 = ephemeral). The JSONL
+    #: ``metrics`` op works either way.
+    metrics_port: Optional[int] = None
+    #: write one merged cross-process Chrome trace per engine-running
+    #: detect request into this directory (None = tracing off)
+    trace_dir: Optional[str] = None
+    #: retention cap on written request traces (oldest unlinked first)
+    trace_keep: int = 256
+    #: SLO spec, e.g. ``"p99_ms=250,error_rate=0.01"`` (None = no SLO
+    #: monitor; ``/healthz`` then only reflects draining)
+    slo: Optional[str] = None
+    #: rolling window for the SLO evaluator and the live p50/p95/p99
+    slo_window_s: float = 60.0
+    #: server-side execution defaults applied to detect configs that
+    #: don't set them (execution fields never change cache keys)
+    default_runtime: Optional[str] = None
+    default_ranks: Optional[int] = None
 
 
 class DetectionServer:
@@ -138,6 +168,37 @@ class DetectionServer:
         self._h_hit = m.histogram("serve/hit_latency_ms")
         self._h_miss = m.histogram("serve/miss_latency_ms")
 
+        # ---- live telemetry: always-on windows, opt-in SLO/traces ---- #
+        # sliding-window latency + request/error counters feed the
+        # metrics op, the /metrics exposition, and the SLO evaluator;
+        # their fixed log-spaced buckets merge exactly across processes
+        self._live_latency = SlidingWindowHistogram(window_s=cfg.slo_window_s)
+        self._w_requests = WindowedCounter(window_s=cfg.slo_window_s)
+        self._w_errors = WindowedCounter(window_s=cfg.slo_window_s)
+        self._c_slo_violations = m.counter("serve/slo_violations")
+        self._slo: Optional[SloMonitor] = None
+        if cfg.slo:
+            self._slo = SloMonitor(
+                parse_slo_spec(cfg.slo, window_s=cfg.slo_window_s),
+                self._live_latency,
+                self._w_requests,
+                self._w_errors,
+                on_violation=self._on_slo_violation,
+            )
+        self._trace_collector: Optional[TraceCollector] = (
+            TraceCollector(cfg.trace_dir, keep=cfg.trace_keep)
+            if cfg.trace_dir
+            else None
+        )
+        self._config_defaults: Dict[str, Any] = {}
+        if cfg.default_runtime:
+            self._config_defaults["runtime"] = cfg.default_runtime
+        if cfg.default_ranks:
+            self._config_defaults["ranks"] = int(cfg.default_ranks)
+        self._request_seq = 0
+        self._http = None  # TelemetryHTTPServer when metrics_port is set
+        self.metrics_port: Optional[int] = None
+
         self._inflight = 0
         self._draining = False
         self._server: Optional[asyncio.base_events.Server] = None
@@ -145,6 +206,13 @@ class DetectionServer:
         self._started_monotonic: Optional[float] = None
         self._drained_clean: Optional[bool] = None
         self.port: Optional[int] = None
+
+    def _on_slo_violation(self, event: Dict[str, Any]) -> None:
+        """Transition into violation: structured log line + counter."""
+        self._c_slo_violations.add(1)
+        logging.getLogger("repro.serve").warning(
+            "slo_violation %s", json.dumps(event, sort_keys=True)
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -159,6 +227,13 @@ class DetectionServer:
         sock = self._server.sockets[0]
         self.port = sock.getsockname()[1]
         self._started_monotonic = time.monotonic()
+        if cfg.metrics_port is not None:
+            from repro.serve.http import TelemetryHTTPServer
+
+            self._http = TelemetryHTTPServer(
+                self, host=cfg.host, port=cfg.metrics_port
+            )
+            self.metrics_port = await self._http.start()
         return cfg.host, self.port
 
     async def serve_forever(self) -> None:
@@ -185,6 +260,11 @@ class DetectionServer:
                 task.cancel()
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         await self.runner.stop()
+        # stopped last: a drain in progress is exactly when you want the
+        # metrics endpoint to still answer
+        if self._http is not None:
+            await self._http.stop()
+            self._http = None
         self._drained_clean = clean
         return clean
 
@@ -226,17 +306,33 @@ class DetectionServer:
     async def _handle_line(self, line: bytes) -> Dict[str, Any]:
         t0 = time.perf_counter()
         self._c_requests.add(1)
+        self._w_requests.add(1)
+        response = await self._dispatch_line(line, t0)
+        latency_ms = (time.perf_counter() - t0) * 1000.0
+        self._h_latency.observe(latency_ms)
+        self._live_latency.observe(latency_ms)
+        # the SLO's error rate counts 5xx replies — internal failures,
+        # timeouts, and shed load (backpressure is a health signal too)
+        if not response.get("ok", False) and int(response.get("status", 500)) >= 500:
+            self._w_errors.add(1)
+        if self._slo is not None:
+            self._slo.evaluate()
+        return response
+
+    async def _dispatch_line(self, line: bytes, t0: float) -> Dict[str, Any]:
         try:
             message = decode(line)
             op = message.get("op")
             if op == "detect":
                 return await self._detect(message, t0)
             if op == "ping":
-                return {"ok": True, "op": "ping", "draining": self._draining}
+                return self._ping()
             if op == "upload":
                 return self._upload(message)
             if op == "stats":
                 return self._stats()
+            if op == "metrics":
+                return self._metrics_op(message)
             if op == "graphs":
                 return {"ok": True, "graphs": self.registry.entries()}
             if op == "evict":
@@ -252,12 +348,41 @@ class DetectionServer:
         except Exception as exc:  # noqa: BLE001 - a reply, not a crash
             self._c_errors.add(1)
             return error_response("internal", f"{type(exc).__name__}: {exc}")
-        finally:
-            self._h_latency.observe((time.perf_counter() - t0) * 1000.0)
 
     # ------------------------------------------------------------------ #
     # operations
     # ------------------------------------------------------------------ #
+    def _ping(self) -> Dict[str, Any]:
+        """Liveness probe, now carrying enough for a monitoring poll:
+        uptime, version, and the cumulative request counters."""
+        import repro
+
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        return {
+            "ok": True,
+            "op": "ping",
+            "draining": self._draining,
+            "uptime_s": uptime,
+            "version": repro.__version__,
+            "requests_total": int(self._c_requests.value),
+            "cache_hits": int(self._c_hits.value),
+            "cache_misses": int(self._c_misses.value),
+            "shed_total": int(self._c_shed.value),
+            "errors": int(self._c_errors.value),
+        }
+
+    def _metrics_op(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Live telemetry over the JSONL protocol: the same numbers the
+        HTTP ``/metrics`` endpoint exports, plus a dashboard summary."""
+        reply: Dict[str, Any] = {"ok": True, "summary": self.metrics_summary()}
+        if bool(message.get("exposition", True)):
+            reply["exposition"] = self.render_metrics_text()
+        return reply
+
     def _upload(self, message: Dict[str, Any]) -> Dict[str, Any]:
         graph = graph_from_payload(message)
         fingerprint = self.registry.put(graph)
@@ -289,8 +414,10 @@ class DetectionServer:
 
     async def _detect(self, message: Dict[str, Any], t0: float) -> Dict[str, Any]:
         fingerprint = require_fingerprint(message)
-        config = parse_detect_config(message)
+        config = parse_detect_config(message, defaults=self._config_defaults)
         include_assignment = bool(message.get("include_assignment", False))
+        self._request_seq += 1
+        request_id = f"req-{self._request_seq:06d}"
         graph = self.registry.get(fingerprint)
         if graph is None:
             return error_response(
@@ -303,9 +430,11 @@ class DetectionServer:
             if hit is not None:
                 self._c_hits.add(1)
                 self._h_hit.observe((time.perf_counter() - t0) * 1000.0)
-                return detect_response(
+                response = detect_response(
                     True, hit, include_assignment, fingerprint
                 )
+                response["request_id"] = request_id
+                return response
             self._c_misses.add(1)
 
         # ---- admission control: bounded engine backlog ---------------- #
@@ -321,10 +450,20 @@ class DetectionServer:
         timeout = parse_optional_number(
             message, "timeout_s", self.config.request_timeout_s
         )
+        tracing = self._trace_collector is not None
+        trace_id = uuid.uuid4().hex[:16] if tracing else None
         self._inflight += 1
         self._g_inflight.set(self._inflight)
+        # collect_spans is only passed when tracing is armed, so runner
+        # stubs written against the pre-telemetry signature keep working
+        # untraced — the disabled path stays invisible end to end
+        run_kwargs = {"collect_spans": True} if tracing else {}
         try:
-            raw = await self.runner.run(graph, config, timeout=timeout)
+            t_dispatch = time.perf_counter()
+            raw = await self.runner.run(
+                graph, config, timeout=timeout, **run_kwargs
+            )
+            t_done = time.perf_counter()
         except DetectionTimeout as exc:
             self._c_timeouts.add(1)
             return error_response("timeout", str(exc))
@@ -335,11 +474,67 @@ class DetectionServer:
             self._inflight -= 1
             self._g_inflight.set(self._inflight)
 
+        telemetry = raw.pop("telemetry", None) if isinstance(raw, dict) else None
         result = CachedResult.from_result(raw)
         if use_cache:
             self.cache.put(key, result)
         self._h_miss.observe((time.perf_counter() - t0) * 1000.0)
-        return detect_response(False, result, include_assignment, fingerprint)
+        response = detect_response(False, result, include_assignment, fingerprint)
+        response["request_id"] = request_id
+        if tracing and trace_id is not None:
+            trace_path = self._write_request_trace(
+                request_id, trace_id, t0, t_dispatch, t_done, telemetry, fingerprint
+            )
+            response["trace_id"] = trace_id
+            if trace_path is not None:
+                response["trace_path"] = trace_path
+        return response
+
+    def _write_request_trace(
+        self,
+        request_id: str,
+        trace_id: str,
+        t0: float,
+        t_dispatch: float,
+        t_done: float,
+        telemetry: Optional[Dict[str, Any]],
+        fingerprint: str,
+    ) -> Optional[str]:
+        """Merge server + worker (+rank) spans into one Chrome trace.
+
+        Everything here is already in the *server's* perf_counter domain:
+        the pool shifted the worker's spans by the handshake-bounded clock
+        offset before handing them up (see ``WorkerPool._server_domain_telemetry``).
+        The per-request tracer's epoch is pinned to ``t0`` so the
+        ``serve/request`` span starts at ts=0 and every child nests inside.
+        """
+        assert self._trace_collector is not None
+        tracer = Tracer(process_name="serve")
+        tracer._t0 = t0
+        spans: List[Dict[str, Any]] = [
+            make_span(
+                "serve/request",
+                t0,
+                time.perf_counter(),
+                pid=0,
+                args={"request_id": request_id, "fingerprint": fingerprint[:16]},
+            ),
+            make_span("serve/pool.dispatch", t_dispatch, t_done, pid=0),
+        ]
+        tracer.ingest(spans, labels={0: "serve"})
+        if telemetry:
+            tracer.ingest(
+                telemetry.get("spans") or [],
+                labels=telemetry.get("labels") or {},
+            )
+        chrome = build_request_trace(tracer, trace_id, request_id)
+        try:
+            return self._trace_collector.write(self._request_seq, trace_id, chrome)
+        except OSError as exc:  # tracing must never fail the request
+            logging.getLogger("repro.serve").warning(
+                "trace write failed for %s: %s", request_id, exc
+            )
+            return None
 
     # ------------------------------------------------------------------ #
     # observability
@@ -354,6 +549,113 @@ class DetectionServer:
         for name in ("workers", "respawns", "idle", "runs"):
             if name in pool:
                 self.metrics.gauge(f"serve/pool/{name}").set(pool[name])
+        # worker-side telemetry folded from every reply (satellite: the
+        # pool accumulates these even for requests that aren't traced)
+        for name, value in (pool.get("worker_totals") or {}).items():
+            self.metrics.gauge(f"serve/worker/{name}").set(value)
+        for backend, count in (pool.get("kernel_backends") or {}).items():
+            self.metrics.gauge(f"serve/worker/kernel/{backend}").set(count)
+
+    def health(self) -> Tuple[bool, Dict[str, Any]]:
+        """The ``/healthz`` answer: healthy iff not draining and (when an
+        SLO is configured) the rolling window meets its targets."""
+        status: Dict[str, Any] = {"draining": self._draining}
+        healthy = not self._draining
+        if self._slo is not None:
+            slo_status = self._slo.evaluate()
+            status["slo"] = slo_status
+            healthy = healthy and bool(slo_status["healthy"])
+        status["healthy"] = healthy
+        return healthy, status
+
+    def metrics_summary(self) -> Dict[str, Any]:
+        """The dashboard-facing summary (``repro top`` renders this)."""
+        window = self._live_latency.window().snapshot()
+        cache = self.cache.stats()
+        pool = self.runner.stats()
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        summary: Dict[str, Any] = {
+            "uptime_s": uptime,
+            "draining": self._draining,
+            "requests_total": int(self._c_requests.value),
+            "req_per_s": self._w_requests.rate_per_s(),
+            "window_requests": int(self._w_requests.window_total()),
+            "window_errors": int(self._w_errors.window_total()),
+            "window_p50_ms": window["p50"],
+            "window_p95_ms": window["p95"],
+            "window_p99_ms": window["p99"],
+            "cache_hit_rate": cache["hit_rate"],
+            "shed_total": int(self._c_shed.value),
+            "inflight": self._inflight,
+            "backlog_limit": self.config.max_pending,
+            "workers": pool.get("workers", 0),
+            "worker_restarts": pool.get("respawns", 0),
+            "traces_written": (
+                self._trace_collector.written if self._trace_collector else 0
+            ),
+        }
+        if self._slo is not None:
+            summary["slo"] = self._slo.evaluate()
+        return summary
+
+    def render_metrics_text(self) -> str:
+        """The Prometheus text exposition of the whole session."""
+        self.bridge_metrics()
+        snapshot = self.metrics.snapshot()
+        counters = {
+            name: float(value) for name, value in snapshot["counters"].items()
+        }
+        gauges = {
+            name: float(value) for name, value in snapshot["gauges"].items()
+        }
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        window = self._live_latency.window()
+        n_window = self._w_requests.window_total()
+        n_errors = self._w_errors.window_total()
+        gauges.update(
+            {
+                "serve/uptime_s": uptime,
+                "serve/req_per_s": self._w_requests.rate_per_s(),
+                "serve/window_requests": n_window,
+                "serve/window_errors": n_errors,
+                "serve/window_error_rate": (
+                    n_errors / n_window if n_window else 0.0
+                ),
+                "serve/window_p50_ms": window.quantile(0.50),
+                "serve/window_p95_ms": window.quantile(0.95),
+                "serve/window_p99_ms": window.quantile(0.99),
+                "serve/backlog_depth": float(self._inflight),
+                "serve/healthy": float(self.health()[0]),
+            }
+        )
+        labeled: Dict[str, Any] = {}
+        pool = self.runner.stats()
+        halo = pool.get("rank_halo_bytes") or {}
+        if halo:
+            labeled["serve/rank_halo_bytes"] = [
+                ({"rank": rank}, float(bytes_)) for rank, bytes_ in sorted(halo.items())
+            ]
+        return render_prometheus(
+            counters=counters,
+            gauges=gauges,
+            histograms={"serve/request_latency_ms": self._live_latency.cumulative},
+            labeled_gauges=labeled,
+            help_text={
+                "serve/request_latency_ms": (
+                    "request latency (ms), fixed log-spaced buckets"
+                ),
+                "serve/requests_total": "requests received since boot",
+                "serve/healthy": "1 when /healthz would answer 200",
+            },
+        )
 
     def manifest(self, command: str = "serve") -> RunManifest:
         """Snapshot the session as a :class:`RunManifest` (written on
@@ -390,4 +692,18 @@ class DetectionServer:
             "uptime_s": uptime,
             "drained_clean": self._drained_clean,
         }
+        # the live bucket histogram's cumulative percentiles: the same
+        # numbers /metrics exports, so a scrape taken during the session
+        # and the drain manifest agree exactly
+        live = self._live_latency.cumulative
+        manifest.result["live"] = {
+            "requests": live.count,
+            "p50_ms": live.quantile(0.50),
+            "p95_ms": live.quantile(0.95),
+            "p99_ms": live.quantile(0.99),
+        }
+        if self._slo is not None:
+            manifest.result["slo"] = self._slo.report()
+        if self._trace_collector is not None:
+            manifest.result["traces_written"] = self._trace_collector.written
         return manifest

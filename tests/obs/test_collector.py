@@ -1,0 +1,127 @@
+"""Cross-process trace collection: clock sync, merging, flow links."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import validate_chrome_trace
+from repro.obs.collector import (
+    ClockSync,
+    TraceCollector,
+    build_request_trace,
+    make_span,
+    shift_spans,
+)
+from repro.obs.tracer import Tracer
+
+
+class TestClockSync:
+    def test_bounds_bracket_true_offset(self):
+        # simulate: child clock = parent clock - 5.0 (true offset θ = +5)
+        theta = 5.0
+        t_send = 100.0
+        t_child_recv = 100.2 - theta  # arrives 0.2s later, child clock
+        t_child_send = 100.8 - theta
+        t_recv = 101.0
+        sync = ClockSync.from_handshake(t_send, t_child_recv, t_child_send, t_recv)
+        assert sync.offset_low <= theta <= sync.offset_high
+        assert sync.offset == pytest.approx(theta, abs=sync.uncertainty)
+        assert sync.uncertainty == pytest.approx(0.4)
+
+    def test_nesting_guarantee(self):
+        """Any offset in the bounds maps the child's service interval
+        strictly inside the parent's [t_send, t_recv] bracket."""
+        t_send, t_recv = 50.0, 51.0
+        t_child_recv, t_child_send = 7.1, 7.8  # child's own clock
+        sync = ClockSync.from_handshake(t_send, t_child_recv, t_child_send, t_recv)
+        for offset in (sync.offset_low, sync.offset, sync.offset_high):
+            start = t_child_recv + offset
+            end = t_child_send + offset
+            assert t_send <= start <= end <= t_recv
+
+    def test_shift_spans(self):
+        spans = [make_span("w", 1.0, 2.0, pid=9)]
+        shifted = shift_spans(spans, 10.0)
+        assert shifted[0]["start"] == 11.0
+        assert shifted[0]["end"] == 12.0
+        assert spans[0]["start"] == 1.0  # original untouched
+
+
+class TestMakeSpan:
+    def test_defaults_and_args(self):
+        span = make_span("x", 1.0, 2.0)
+        assert span["pid"] == os.getpid()
+        assert span["ph"] == "X"
+        assert "args" not in span
+        span = make_span("y", 1.0, 2.0, pid=0, args={"k": 1})
+        assert span["pid"] == 0
+        assert span["args"] == {"k": 1}
+
+
+class TestBuildRequestTrace:
+    def _tracer(self):
+        tracer = Tracer(process_name="serve")
+        tracer._t0 = 100.0
+        tracer.ingest(
+            [
+                make_span("serve/request", 100.0, 101.0, pid=0),
+                make_span("worker/detect", 100.2, 100.9, pid=777),
+                make_span("rank/decide", 100.3, 100.5, pid=888),
+            ],
+            labels={0: "serve", 777: "serve-worker", 888: "rank[0]"},
+        )
+        return tracer
+
+    def test_flow_chain_links_tiers_in_time_order(self):
+        chrome = build_request_trace(self._tracer(), "abc123", "req-000001")
+        validate_chrome_trace(chrome)
+        flow = [e for e in chrome["traceEvents"] if e.get("cat") == "flow"]
+        assert [f["ph"] for f in sorted(flow, key=lambda e: e["ts"])] == \
+            ["s", "t", "f"]
+        assert [f["pid"] for f in sorted(flow, key=lambda e: e["ts"])] == \
+            [0, 777, 888]
+        assert len({f["id"] for f in flow}) == 1
+        assert chrome["metadata"] == {
+            "trace_id": "abc123", "request_id": "req-000001"
+        }
+
+    def test_single_tier_has_no_flow(self):
+        tracer = Tracer(process_name="serve")
+        tracer._t0 = 1.0
+        tracer.ingest([make_span("only", 1.0, 2.0, pid=0)], labels={0: "serve"})
+        chrome = build_request_trace(tracer, "x", "req-1")
+        assert not [e for e in chrome["traceEvents"] if e.get("cat") == "flow"]
+
+    def test_process_labels_in_metadata_events(self):
+        chrome = build_request_trace(self._tracer(), "abc", "req-1")
+        labels = {
+            e["pid"]: e["args"]["name"]
+            for e in chrome["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert labels[0] == "serve"
+        assert labels[777] == "serve-worker"
+        assert labels[888] == "rank[0]"
+
+
+class TestTraceCollector:
+    def test_write_and_retention(self, tmp_path):
+        collector = TraceCollector(str(tmp_path), keep=2)
+        paths = [
+            collector.write(i, f"id{i}", {"traceEvents": [], "metadata": {}})
+            for i in range(1, 5)
+        ]
+        assert collector.written == 4
+        survivors = sorted(os.listdir(tmp_path))
+        assert len(survivors) == 2
+        assert os.path.basename(paths[-1]) in survivors
+        assert os.path.basename(paths[0]) not in survivors
+        with open(paths[-1]) as fh:
+            assert json.load(fh) == {"traceEvents": [], "metadata": {}}
+
+    def test_filename_sanitized(self, tmp_path):
+        collector = TraceCollector(str(tmp_path))
+        path = collector.write(1, "../evil id", {"traceEvents": []})
+        assert os.path.dirname(path) == str(tmp_path)
+        assert "/evil" not in os.path.basename(path)

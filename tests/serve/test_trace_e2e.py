@@ -1,0 +1,149 @@
+"""E2E: one request's merged trace spans three process tiers.
+
+The acceptance path of the live-telemetry work: a detect request against
+``serve --trace-dir ... --runtime multiprocess --ranks 2`` must produce a
+single Chrome trace containing spans from the server (pid 0), the
+subprocess worker, and each rank process — clock-aligned so the tiers
+nest strictly, flow-linked by the trace id — and tracing must not change
+the result by a bit.
+
+These tests boot a real spawned worker which itself spawns rank
+processes, so they share one server session (same pattern as
+``test_pool.py``).
+"""
+
+import asyncio
+import json
+
+from repro.graph.generators import ring_of_cliques
+from repro.obs import validate_chrome_trace
+from repro.serve import DetectionServer, ServeClient, ServeConfig
+
+
+def _spans(events, name, pid=None):
+    return [
+        (e["ts"], e["ts"] + e["dur"])
+        for e in events
+        if e.get("ph") == "X"
+        and e["name"] == name
+        and (pid is None or e["pid"] == pid)
+    ]
+
+
+class TestCrossProcessTrace:
+    def test_three_tiers_nested_and_flow_linked(self, tmp_path):
+        graph = ring_of_cliques(8, 6)
+
+        async def traced():
+            cfg = ServeConfig(
+                port=0,
+                runner="subprocess",
+                workers=1,
+                trace_dir=str(tmp_path),
+                default_runtime="multiprocess",
+                default_ranks=2,
+            )
+            server = DetectionServer(cfg)
+            host, port = await server.start()
+            try:
+                client = await ServeClient.connect(host, port)
+                try:
+                    fingerprint = await client.upload(graph)
+                    reply = await client.detect(
+                        fingerprint, seed=7, timeout_s=120
+                    )
+                    stats = await client.stats()
+                    return reply, stats
+                finally:
+                    await client.close()
+            finally:
+                await server.drain()
+
+        async def untraced():
+            server = DetectionServer(
+                ServeConfig(port=0, runner="subprocess", workers=1)
+            )
+            host, port = await server.start()
+            try:
+                client = await ServeClient.connect(host, port)
+                try:
+                    fingerprint = await client.upload(graph)
+                    return await client.detect(
+                        fingerprint,
+                        seed=7,
+                        config={"runtime": "multiprocess", "ranks": 2},
+                        timeout_s=120,
+                    )
+                finally:
+                    await client.close()
+            finally:
+                await server.drain()
+
+        reply, stats = asyncio.run(traced())
+        assert reply["ok"] and "trace_path" in reply
+        with open(reply["trace_path"]) as fh:
+            chrome = json.load(fh)
+        validate_chrome_trace(chrome)
+        events = chrome["traceEvents"]
+
+        # ---- tier inventory: server + worker + both ranks ------------- #
+        labels = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        rank_pids = sorted(
+            pid for pid, label in labels.items() if label.startswith("rank[")
+        )
+        worker_pids = [
+            pid for pid, label in labels.items() if label == "serve-worker"
+        ]
+        assert labels.get(0) == "serve"
+        assert len(worker_pids) == 1
+        assert sorted(labels[p] for p in rank_pids) == ["rank[0]", "rank[1]"]
+        # real OS pids, all distinct from the server's pseudo-pid 0
+        assert 0 not in rank_pids and 0 not in worker_pids
+
+        # ---- strict nesting after clock alignment --------------------- #
+        (req0, req1), = _spans(events, "serve/request", pid=0)
+        (disp0, disp1), = _spans(events, "serve/pool.dispatch", pid=0)
+        (det0, det1), = _spans(events, "worker/detect", pid=worker_pids[0])
+        assert req0 == 0  # the request span anchors the trace at ts=0
+        assert req0 <= disp0 <= disp1 <= req1
+        # the NTP-style handshake bounds guarantee the worker's service
+        # interval lands inside the dispatch bracket — no tolerance
+        assert disp0 <= det0 <= det1 <= disp1
+        rank_spans = [
+            span for pid in rank_pids for span in _spans(events, "rank/decide", pid)
+        ]
+        assert len(rank_spans) >= 2 * 2  # >=2 rounds on each of 2 ranks
+        for start, end in rank_spans:
+            assert det0 <= start <= end <= det1
+
+        # ---- flow chain links the tiers by trace id ------------------- #
+        flow = sorted(
+            (e for e in events if e.get("cat") == "flow"),
+            key=lambda e: e["ts"],
+        )
+        assert [f["ph"] for f in flow] == ["s"] + ["t"] * (len(flow) - 2) + ["f"]
+        assert len({f["id"] for f in flow}) == 1
+        assert flow[0]["pid"] == 0
+        assert {f["pid"] for f in flow} == {0, worker_pids[0], *rank_pids}
+        assert chrome["metadata"]["trace_id"] == reply["trace_id"]
+
+        # ---- satellite: worker telemetry flows even on cold requests -- #
+        pool = stats["pool"]
+        totals = pool["worker_totals"]
+        assert totals["detections"] == 1
+        assert totals["iterations"] > 0
+        assert pool["kernel_backends"]  # worker-side kernel counters
+        assert sum(pool["kernel_backends"].values()) > 0
+        halo = pool["rank_halo_bytes"]
+        assert set(halo) == {"0", "1"}
+        assert all(v > 0 for v in halo.values())
+
+        # ---- tracing changes nothing about the answer ----------------- #
+        plain = asyncio.run(untraced())
+        assert "trace_id" not in plain
+        assert plain["assignment_sha256"] == reply["assignment_sha256"]
+        assert plain["modularity"] == reply["modularity"]
