@@ -40,7 +40,13 @@ import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Union
+
+if TYPE_CHECKING:  # only for annotations; keep the import graph light
+    import numpy as np
+
+    from repro.core.state import CommunityState
+    from repro.graph.csr import CSRGraph
 
 from repro.errors import SanitizerError
 
@@ -94,7 +100,7 @@ class SanitizerConfig:
     max_findings: int = 1000
     on_finding: str = "record"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ValueError(f"sanitize mode must be one of {MODES}, got {self.mode!r}")
         if self.on_finding not in ("record", "raise"):
@@ -137,7 +143,7 @@ def resolve_sanitize(
 class Sanitizer:
     """One sanitizing scope: the four checkers sharing one finding log."""
 
-    def __init__(self, config: Optional[SanitizerConfig] = None):
+    def __init__(self, config: Optional[SanitizerConfig] = None) -> None:
         self.config = config or SanitizerConfig()
         self.log = FindingLog(
             max_stored=self.config.max_findings, on_add=self._on_finding
@@ -170,7 +176,7 @@ class Sanitizer:
     # ------------------------------------------------------------------ #
     # invariant-audit entry points (thin wrappers adding log + gating)
     # ------------------------------------------------------------------ #
-    def audit_graph(self, graph, source: Optional[str] = None) -> int:
+    def audit_graph(self, graph: "CSRGraph", source: Optional[str] = None) -> int:
         """Run the CSR audit; record findings; return how many."""
         if not self.config.invariants:
             return 0
@@ -178,7 +184,7 @@ class Sanitizer:
         self.log.extend(found)
         return len(found)
 
-    def audit_weights(self, state, iteration: Optional[int] = None) -> int:
+    def audit_weights(self, state: "CommunityState", iteration: Optional[int] = None) -> int:
         """Strict-mode community-weight conservation audit."""
         if not (self.config.invariants and self.config.strict):
             return 0
@@ -188,8 +194,8 @@ class Sanitizer:
 
     def audit_pruning(
         self,
-        active,
-        oracle_moved,
+        active: "np.ndarray",
+        oracle_moved: "np.ndarray",
         iteration: Optional[int] = None,
         strategy: str = "mg",
     ) -> int:

@@ -11,24 +11,27 @@ as a report artifact from the CLI, and be asserted on in mutation tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     InvariantViolationError,
     MemcheckError,
     RaceHazardError,
     SanitizerError,
+    StaticCheckError,
     SynccheckError,
 )
 
-#: checker names, in report order
-CHECKERS = ("racecheck", "memcheck", "synccheck", "invariant")
+#: checker names, in report order (``staticcheck`` findings come from
+#: the AST-based ``repro lint`` rules, not a runtime sanitizer pass)
+CHECKERS = ("racecheck", "memcheck", "synccheck", "invariant", "staticcheck")
 
 _ERROR_TYPES = {
     "racecheck": RaceHazardError,
     "memcheck": MemcheckError,
     "synccheck": SynccheckError,
     "invariant": InvariantViolationError,
+    "staticcheck": StaticCheckError,
 }
 
 
@@ -68,7 +71,7 @@ class Finding:
     launch: Optional[int] = None
     space: Optional[str] = None
     address: Optional[int] = None
-    lanes: Optional[tuple] = None
+    lanes: Optional[Tuple[int, ...]] = None
     details: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -109,7 +112,11 @@ class FindingLog:
     memory while still reporting the true finding volume.
     """
 
-    def __init__(self, max_stored: int = 1000, on_add=None):
+    def __init__(
+        self,
+        max_stored: int = 1000,
+        on_add: Optional[Callable[[Finding], None]] = None,
+    ) -> None:
         self.max_stored = max_stored
         self.findings: List[Finding] = []
         self.total = 0
@@ -138,7 +145,7 @@ class FindingLog:
     def __len__(self) -> int:
         return self.total
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Finding]:
         return iter(self.findings)
 
     @property

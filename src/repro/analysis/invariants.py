@@ -22,16 +22,20 @@ records:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 import numpy as np
 
 from .findings import Finding
 
+if TYPE_CHECKING:  # annotation-only; keeps the import graph acyclic
+    from repro.core.state import CommunityState
+    from repro.graph.csr import CSRGraph
+
 _MAX_DETAIL = 8
 
 
-def _f(kind: str, message: str, **kw) -> Finding:
+def _f(kind: str, message: str, **kw: Any) -> Finding:
     return Finding(checker="invariant", kind=kind, message=message, **kw)
 
 
@@ -39,7 +43,7 @@ def _f(kind: str, message: str, **kw) -> Finding:
 # CSR well-formedness
 # ---------------------------------------------------------------------- #
 
-def validate_csr(graph, source: Optional[str] = None) -> List[Finding]:
+def validate_csr(graph: "CSRGraph", source: Optional[str] = None) -> List[Finding]:
     """Vectorised structural audit of a :class:`CSRGraph`.
 
     Returns a list of findings (empty when the graph is well-formed).
@@ -52,7 +56,7 @@ def validate_csr(graph, source: Optional[str] = None) -> List[Finding]:
     weights = np.asarray(graph.weights)
     self_weight = np.asarray(graph.self_weight)
 
-    def add(kind, message, **details):
+    def add(kind: str, message: str, **details: Any) -> None:
         findings.append(
             _f(kind, message, kernel=source, details=details or {})
         )
@@ -198,7 +202,7 @@ def validate_csr(graph, source: Optional[str] = None) -> List[Finding]:
 # ---------------------------------------------------------------------- #
 
 def audit_weight_update(
-    state,
+    state: "CommunityState",
     iteration: Optional[int] = None,
     kernel: str = "weight-update",
 ) -> List[Finding]:

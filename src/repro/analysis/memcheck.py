@@ -21,8 +21,9 @@ from __future__ import annotations
 from typing import Dict, Hashable, Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
-from .findings import Finding
+from .findings import Finding, FindingLog
 
 #: cap on per-call findings so a wild address vector cannot flood the log
 _MAX_PER_CALL = 16
@@ -31,7 +32,7 @@ _MAX_PER_CALL = 16
 class MemChecker:
     """Bounds / shadow-init / capacity checks, vectorised over lanes."""
 
-    def __init__(self, log):
+    def __init__(self, log: FindingLog) -> None:
         self._log = log
         # region -> shadow "has been written" bitmap
         self._shadow: Dict[Hashable, np.ndarray] = {}
@@ -43,11 +44,11 @@ class MemChecker:
     def check_bounds(
         self,
         region: Hashable,
-        addresses,
+        addresses: "ArrayLike",
         size: int,
         kernel: Optional[str] = None,
         launch: Optional[int] = None,
-        lanes=None,
+        lanes: Optional["ArrayLike"] = None,
     ) -> np.ndarray:
         """Validate ``0 <= addresses < size``; report violations.
 
@@ -111,7 +112,7 @@ class MemChecker:
         """(Re)declare a region as fully uninitialised, e.g. on table reset."""
         self._shadow[region] = np.zeros(int(size), dtype=bool)
 
-    def mark_init(self, region: Hashable, addresses) -> None:
+    def mark_init(self, region: Hashable, addresses: ArrayLike) -> None:
         """Record that ``addresses`` in ``region`` now hold defined data."""
         shadow = self._shadow.get(region)
         if shadow is None:
@@ -123,10 +124,10 @@ class MemChecker:
     def check_init(
         self,
         region: Hashable,
-        addresses,
+        addresses: ArrayLike,
         kernel: Optional[str] = None,
         launch: Optional[int] = None,
-        lanes=None,
+        lanes: Optional[ArrayLike] = None,
     ) -> None:
         """Report reads of slots never written since the last reset."""
         shadow = self._shadow.get(region)

@@ -30,8 +30,9 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
-from .findings import Finding
+from .findings import Finding, FindingLog
 
 #: max distinct lanes listed per finding (keeps records small)
 _MAX_LANES = 8
@@ -46,7 +47,7 @@ _MODE_BITS = {"read": _READ, "write": _WRITE, "atomic": _ATOMIC}
 class RaceChecker:
     """Collects per-epoch access events and reports hazards at barriers."""
 
-    def __init__(self, log):
+    def __init__(self, log: FindingLog) -> None:
         self._log = log
         # (region, address) -> {lane: mode_bits}
         self._epoch: Dict[Tuple[Hashable, int], Dict[int, int]] = {}
@@ -61,8 +62,8 @@ class RaceChecker:
     def access(
         self,
         region: Hashable,
-        addresses,
-        lanes,
+        addresses: "ArrayLike",
+        lanes: "ArrayLike",
         mode: str,
         kernel: Optional[str] = None,
         launch: Optional[int] = None,

@@ -1,0 +1,87 @@
+"""Rule registry for the static checker.
+
+A rule is a function ``(Project) -> List[Finding]`` registered under a
+stable kebab-case name with the :func:`rule` decorator. The engine runs
+every registered rule (or a requested subset) over one parsed
+:class:`~repro.analysis.staticcheck.project.Project`.
+
+Rule modules self-register on import; the imports at the bottom of this
+file are what populate the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.staticcheck.project import ModuleInfo, Project
+
+RuleFunc = Callable[[Project], List[Finding]]
+
+#: name → (function, one-line description)
+_REGISTRY: Dict[str, Tuple[RuleFunc, str]] = {}
+
+
+def rule(name: str, doc: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a rule function under ``name``."""
+
+    def decorator(func: RuleFunc) -> RuleFunc:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate rule name: {name}")
+        _REGISTRY[name] = (func, doc)
+        return func
+
+    return decorator
+
+
+def all_rules() -> Tuple[str, ...]:
+    """Registered rule names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(name: str) -> RuleFunc:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown rule {name!r}; known rules: {', '.join(all_rules())}"
+        )
+    return _REGISTRY[name][0]
+
+
+def rule_doc(name: str) -> str:
+    return _REGISTRY[name][1]
+
+
+def lint_finding(
+    rule_name: str,
+    kind: str,
+    message: str,
+    module: ModuleInfo,
+    lineno: int,
+    **details: object,
+) -> Finding:
+    """A ``staticcheck`` finding anchored at ``<rel_path>#L<lineno>``."""
+    payload: Dict[str, object] = {
+        "rule": rule_name,
+        "path": module.rel_path,
+        "line": lineno,
+    }
+    payload.update(details)
+    return Finding(
+        checker="staticcheck",
+        kind=kind,
+        message=message,
+        kernel=module.rel_path,
+        launch=lineno,
+        details=payload,
+    )
+
+
+# import rule modules for their registration side effect (keep last)
+from repro.analysis.staticcheck.rules import (  # noqa: E402,F401
+    config_fields,
+    determinism,
+    float_accum,
+    metric_names,
+    protocol,
+    spans,
+)

@@ -1,0 +1,127 @@
+"""Rule ``float-accumulation``: bit-exact modules don't free-hand sums.
+
+Modules that opt in with a module-level ``__bitexact__ = True`` declare
+that their floating-point results must be bit-identical across kernels,
+backends, and rank counts. Summation order is the classic way to break
+that promise — ``np.sum`` may pairwise-split differently across dtypes
+and builds, and a loop-carried ``+=`` encodes whatever order the loop
+happens to visit.
+
+Inside opted-in modules the rule flags:
+
+* ``<anything>.sum(...)`` / ``np.sum`` / ``np.nansum`` / builtin
+  ``sum`` calls;
+* ``+=`` / ``-=`` on subscripted targets inside ``for``/``while``
+  loops (loop-carried accumulation).
+
+Sanctioned escape hatches: route the reduction through
+``repro.utils.arrays.ordered_sum`` (the documented fixed-order helper),
+or annotate the site with ``# lint: allow[float-accumulation]`` and a
+justification — e.g. ``np.add.at`` scatter-adds whose order is pinned
+by a sorted index array.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.staticcheck.project import (
+    ModuleInfo,
+    Project,
+    call_func_name,
+)
+from repro.analysis.staticcheck.rules import lint_finding, rule
+
+RULE = "float-accumulation"
+
+#: dotted callables that perform an order-unspecified reduction
+_BARE_REDUCERS = {"np.sum", "numpy.sum", "np.nansum", "numpy.nansum", "sum"}
+
+#: the sanctioned fixed-order reduction helper
+SANCTIONED = ("ordered_sum", "arrays.ordered_sum")
+
+
+def declares_bitexact(module: ModuleInfo) -> bool:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "__bitexact__"
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is True
+                ):
+                    return True
+    return False
+
+
+@rule(RULE, "no order-unspecified float reductions in bit-exact modules")
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project:
+        if not declares_bitexact(module):
+            continue
+        loop_linenos = _loop_body_lines(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(_check_call(module, node))
+            elif isinstance(node, ast.AugAssign):
+                findings.extend(_check_augassign(module, node, loop_linenos))
+    return findings
+
+
+def _check_call(module: ModuleInfo, call: ast.Call) -> List[Finding]:
+    name = call_func_name(call)
+    is_method_sum = (
+        isinstance(call.func, ast.Attribute) and call.func.attr == "sum"
+    )
+    if name in _BARE_REDUCERS or (is_method_sum and name not in SANCTIONED):
+        what = name or ".sum()"
+        return [
+            lint_finding(
+                RULE,
+                "bare-float-accumulation",
+                f"{what} in a __bitexact__ module — reduction order is "
+                "unspecified; use repro.utils.arrays.ordered_sum or waive "
+                "with a justification",
+                module,
+                call.lineno,
+            )
+        ]
+    return []
+
+
+def _loop_body_lines(module: ModuleInfo) -> "set[int]":
+    lines: "set[int]" = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.For, ast.While)):
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            lines.update(range(node.lineno, end + 1))
+    return lines
+
+
+def _check_augassign(
+    module: ModuleInfo, node: ast.AugAssign, loop_linenos: "set[int]"
+) -> List[Finding]:
+    if not isinstance(node.op, (ast.Add, ast.Sub)):
+        return []
+    if node.lineno not in loop_linenos:
+        return []
+    if not isinstance(node.target, ast.Subscript):
+        # scalar += inside a loop is sequential and deterministic;
+        # the hazard is element-wise accumulation into arrays whose
+        # visit order the loop controls
+        return []
+    return [
+        lint_finding(
+            RULE,
+            "loop-carried-accumulation",
+            "loop-carried '+='/'-=' into a subscripted target in a "
+            "__bitexact__ module — the loop's visit order becomes part of "
+            "the result; accumulate via a fixed-order helper or waive",
+            module,
+            node.lineno,
+        )
+    ]

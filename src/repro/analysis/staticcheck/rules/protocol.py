@@ -1,0 +1,187 @@
+"""Rule ``protocol-coverage``: every JSONL op is fully wired.
+
+``repro.serve.protocol.KNOWN_OPS`` is the wire contract. For each op the
+serving stack must provide all four legs, and nothing beyond them:
+
+* a **server handler** — an ``op == "<name>"`` dispatch arm in
+  ``repro.serve.server``;
+* a **client method** — some ``repro.serve.client`` call site building a
+  ``{"op": "<name>", ...}`` request dict;
+* a **docs/api.md mention** — the op name in backticks;
+* a **docs/serving.md mention** — same, the protocol reference table.
+
+The reverse holds too: a dispatch arm or client request for an op that
+is *not* in ``KNOWN_OPS`` is an undeclared extension of the wire
+protocol (``undeclared-op``). Together the checks make "add an op"
+atomic — declare it, handle it, expose it, document it — and make
+"remove an op" leave no dead arms behind (``unknown-op-handler``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.staticcheck.project import (
+    ModuleInfo,
+    Project,
+    module_constant_strs,
+)
+from repro.analysis.staticcheck.rules import lint_finding, rule
+
+RULE = "protocol-coverage"
+
+PROTOCOL_MODULE = "repro.serve.protocol"
+SERVER_MODULE = "repro.serve.server"
+CLIENT_MODULE = "repro.serve.client"
+DOC_FILES = ("docs/api.md", "docs/serving.md")
+
+
+@rule(RULE, "every JSONL op has a handler, a client method, and docs")
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    protocol = project.get(PROTOCOL_MODULE)
+    if protocol is None:
+        return findings
+    known = module_constant_strs(protocol, "KNOWN_OPS")
+    if known is None:
+        findings.append(
+            lint_finding(
+                RULE,
+                "missing-op-registry",
+                f"{PROTOCOL_MODULE} must declare KNOWN_OPS as a literal "
+                "tuple of op names",
+                protocol,
+                1,
+            )
+        )
+        return findings
+
+    server = project.get(SERVER_MODULE)
+    client = project.get(CLIENT_MODULE)
+    handled = _handler_ops(server) if server is not None else {}
+    requested = _client_ops(client) if client is not None else {}
+
+    for op in sorted(known):
+        if server is not None and op not in handled:
+            findings.append(
+                lint_finding(
+                    RULE,
+                    "unhandled-op",
+                    f"op {op!r} is in KNOWN_OPS but {SERVER_MODULE} has no "
+                    'dispatch arm (`op == "' + op + '"`) for it',
+                    server,
+                    1,
+                    op=op,
+                )
+            )
+        if client is not None and op not in requested:
+            findings.append(
+                lint_finding(
+                    RULE,
+                    "missing-client-method",
+                    f"op {op!r} is in KNOWN_OPS but {CLIENT_MODULE} never "
+                    "builds a request for it — the op is unreachable from "
+                    "the public client",
+                    client,
+                    1,
+                    op=op,
+                )
+            )
+    for op, lineno in sorted(handled.items()):
+        if op not in known:
+            findings.append(
+                lint_finding(
+                    RULE,
+                    "unknown-op-handler",
+                    f"server dispatches op {op!r} which is not declared in "
+                    "KNOWN_OPS — dead arm or undeclared protocol extension",
+                    server,  # type: ignore[arg-type]
+                    lineno,
+                    op=op,
+                )
+            )
+    for op, lineno in sorted(requested.items()):
+        if op not in known:
+            findings.append(
+                lint_finding(
+                    RULE,
+                    "undeclared-op",
+                    f"client sends op {op!r} which is not declared in "
+                    "KNOWN_OPS — the server will reject it",
+                    client,  # type: ignore[arg-type]
+                    lineno,
+                    op=op,
+                )
+            )
+
+    for doc in DOC_FILES:
+        text = project.read_doc(doc)
+        if text is None:
+            findings.append(
+                lint_finding(
+                    RULE,
+                    "missing-doc-file",
+                    f"protocol doc file {doc!r} does not exist",
+                    protocol,
+                    1,
+                )
+            )
+            continue
+        for op in sorted(known):
+            if not re.search(rf"`{re.escape(op)}`", text):
+                findings.append(
+                    lint_finding(
+                        RULE,
+                        "undocumented-op",
+                        f"op {op!r} is in KNOWN_OPS but {doc} never "
+                        f"mentions `{op}` — document the op where clients "
+                        "will look for it",
+                        protocol,
+                        1,
+                        op=op,
+                        doc=doc,
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+def _handler_ops(module: ModuleInfo) -> Dict[str, int]:
+    """ops compared against a name ending in ``op`` → first lineno."""
+    out: Dict[str, int] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not (
+            isinstance(node.left, ast.Name)
+            and node.left.id == "op"
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], ast.Eq)
+        ):
+            continue
+        comparator = node.comparators[0]
+        if isinstance(comparator, ast.Constant) and isinstance(
+            comparator.value, str
+        ):
+            out.setdefault(comparator.value, node.lineno)
+    return out
+
+
+def _client_ops(module: ModuleInfo) -> Dict[str, int]:
+    """ops appearing as ``{"op": "<name>", ...}`` dict literals."""
+    out: Dict[str, int] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "op"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                out.setdefault(value.value, node.lineno)
+    return out

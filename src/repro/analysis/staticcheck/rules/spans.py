@@ -1,0 +1,104 @@
+"""Rule ``span-pairing``: trace spans are context-managed.
+
+A span opened with ``span.__enter__()`` and closed by hand is exactly
+the bug class the tracer's nesting model cannot survive: any exception
+(or early ``return``/``break``) between enter and exit leaves the span
+open, corrupting the parent stack for every span that follows and
+under-reporting the phase time the docs promise.
+
+The rule finds every ``<receiver>.span(...)`` call and accepts it only
+when:
+
+* it is the context expression of a ``with`` item (directly, or via
+  ``contextlib`` wrappers like ``ExitStack.enter_context(...)``), or
+* it is assigned to a name that appears as a ``with`` context in the
+  same function (the ``s = tr.span(...); with s: ...`` idiom), or
+* it is returned/yielded from a function itself named ``span`` (the
+  ``repro.obs.span`` facade forwarding to the session tracer).
+
+Explicit ``.__enter__()`` / ``.__exit__()`` attribute access on any
+name bound from a ``.span(...)`` call is flagged directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.staticcheck.project import ModuleInfo, Project
+from repro.analysis.staticcheck.rules import lint_finding, rule
+
+RULE = "span-pairing"
+
+
+@rule(RULE, "tracer spans only used via with-blocks (no manual __enter__)")
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+            ):
+                if not _acceptable(module, node):
+                    findings.append(
+                        lint_finding(
+                            RULE,
+                            "unmanaged-span",
+                            "span opened outside a with-block — an "
+                            "exception between enter and exit corrupts "
+                            "the tracer's nesting; use `with ....span(...)` "
+                            "(or bind it and `with` it in the same "
+                            "function)",
+                            module,
+                            node.lineno,
+                        )
+                    )
+    return findings
+
+
+def _acceptable(module: ModuleInfo, call: ast.Call) -> bool:
+    parents = module.parents()
+    parent = parents.get(call)
+
+    # with tr.span(...):  — directly a with item
+    if isinstance(parent, ast.withitem):
+        return True
+    # stack.enter_context(tr.span(...)) — contextlib management
+    if (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Attribute)
+        and parent.func.attr == "enter_context"
+    ):
+        return True
+
+    func = module.enclosing_function(call)
+
+    # return tr.span(...) inside the obs facade `def span(...)`
+    if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+        if (
+            isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and func.name == "span"
+        ):
+            return True
+        return False
+
+    # name = tr.span(...); ... with name: — bound then context-managed
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+        target = parent.targets[0]
+        if isinstance(target, ast.Name) and func is not None:
+            return target.id in _with_context_names(func)
+    return False
+
+
+def _with_context_names(func: ast.AST) -> Set[str]:
+    """Names used as ``with <name>:`` context expressions in ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Name):
+                    names.add(item.context_expr.id)
+    return names

@@ -1,0 +1,236 @@
+"""Waivers: the audited escape hatch for static-check findings.
+
+Two mechanisms, both deliberate and reviewable:
+
+* **Inline waivers** — a ``# lint: allow[<rule>]`` comment on (or
+  immediately above) the offending line. Good for single-site
+  exceptions where the justification fits in the surrounding code.
+* **A waiver file** — JSON (default ``lint-waivers.json`` at the repo
+  root) carrying structured waivers with a mandatory reason and an
+  optional expiry date. Good for batch or cross-file exceptions that
+  need an owner and a deadline.
+
+Waivers never delete findings: a waived finding is still reported (and
+counted in the manifest payload), it just does not fail ``repro lint``.
+Expired waivers and waivers that no longer match anything become
+findings themselves (``expired-waiver`` / ``stale-waiver``), so the
+escape hatch cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import fnmatch
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+#: waiver-file schema version (bump on incompatible changes)
+WAIVER_SCHEMA_VERSION = 1
+
+#: inline waiver marker: ``# lint: allow[rule-name]``
+_INLINE_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_*-]+)\]")
+
+
+class WaiverFormatError(ValueError):
+    """Raised when a waiver file cannot be parsed or fails validation."""
+
+
+@dataclass
+class Waiver:
+    """One structured waiver from the waiver file."""
+
+    #: rule name the waiver applies to (``*`` waives any rule)
+    rule: str
+    #: glob matched against the finding's repo-relative path
+    path: str
+    #: mandatory human justification
+    reason: str
+    #: substring that must occur in the finding message ("" matches all)
+    contains: str = ""
+    #: optional ISO date (``YYYY-MM-DD``); the waiver stops applying
+    #: after this date and is reported as ``expired-waiver``
+    expires: Optional[str] = None
+    #: bookkeeping: how many findings this waiver matched in one run
+    hits: int = field(default=0, compare=False)
+
+    def expired(self, today: Optional[_dt.date] = None) -> bool:
+        if self.expires is None:
+            return False
+        today = today or _dt.date.today()
+        return today > _dt.date.fromisoformat(self.expires)
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != "*" and finding.details.get("rule") != self.rule:
+            return False
+        path = str(finding.details.get("path") or finding.kernel or "")
+        if not fnmatch.fnmatch(path, self.path):
+            return False
+        if self.contains and self.contains not in finding.message:
+            return False
+        return True
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "reason": self.reason,
+        }
+        if self.contains:
+            out["contains"] = self.contains
+        if self.expires is not None:
+            out["expires"] = self.expires
+        return out
+
+
+@dataclass
+class WaiverFile:
+    """The parsed waiver file."""
+
+    waivers: List[Waiver] = field(default_factory=list)
+    version: int = WAIVER_SCHEMA_VERSION
+    source: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: Path) -> "WaiverFile":
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise WaiverFormatError(f"{path}: invalid JSON: {exc}") from exc
+        return cls.from_dict(raw, source=str(path))
+
+    @classmethod
+    def from_dict(
+        cls, raw: Dict[str, Any], source: Optional[str] = None
+    ) -> "WaiverFile":
+        if not isinstance(raw, dict):
+            raise WaiverFormatError("waiver file must be a JSON object")
+        version = raw.get("version")
+        if version != WAIVER_SCHEMA_VERSION:
+            raise WaiverFormatError(
+                f"unsupported waiver schema version {version!r} "
+                f"(expected {WAIVER_SCHEMA_VERSION})"
+            )
+        entries = raw.get("waivers", [])
+        if not isinstance(entries, list):
+            raise WaiverFormatError("'waivers' must be a list")
+        waivers: List[Waiver] = []
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise WaiverFormatError(f"waiver #{i} is not an object")
+            missing = {"rule", "path", "reason"} - set(entry)
+            if missing:
+                raise WaiverFormatError(
+                    f"waiver #{i} missing field(s): {sorted(missing)}"
+                )
+            if not str(entry["reason"]).strip():
+                raise WaiverFormatError(f"waiver #{i} has an empty reason")
+            expires = entry.get("expires")
+            if expires is not None:
+                try:
+                    _dt.date.fromisoformat(str(expires))
+                except ValueError as exc:
+                    raise WaiverFormatError(
+                        f"waiver #{i} has a bad expires date {expires!r}"
+                    ) from exc
+            waivers.append(
+                Waiver(
+                    rule=str(entry["rule"]),
+                    path=str(entry["path"]),
+                    reason=str(entry["reason"]),
+                    contains=str(entry.get("contains", "")),
+                    expires=None if expires is None else str(expires),
+                )
+            )
+        return cls(waivers=waivers, version=int(version), source=source)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "waivers": [w.as_dict() for w in self.waivers],
+        }
+
+    def save(self, path: Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        findings: List[Finding],
+        today: Optional[_dt.date] = None,
+    ) -> Tuple[List[Finding], List[Tuple[Finding, str]], List[Finding]]:
+        """Partition findings into (unwaived, waived, waiver_findings).
+
+        ``waived`` pairs each suppressed finding with the waiver reason.
+        ``waiver_findings`` are problems with the waiver file itself:
+        expired waivers that still match something, and stale waivers
+        that match nothing at all.
+        """
+        unwaived: List[Finding] = []
+        waived: List[Tuple[Finding, str]] = []
+        for w in self.waivers:
+            w.hits = 0
+        expired_hit: Dict[int, int] = {}
+        for finding in findings:
+            suppressed = False
+            for idx, waiver in enumerate(self.waivers):
+                if not waiver.matches(finding):
+                    continue
+                if waiver.expired(today):
+                    expired_hit[idx] = expired_hit.get(idx, 0) + 1
+                    continue
+                waiver.hits += 1
+                waived.append((finding, waiver.reason))
+                suppressed = True
+                break
+            if not suppressed:
+                unwaived.append(finding)
+
+        waiver_findings: List[Finding] = []
+        for idx, waiver in enumerate(self.waivers):
+            where = self.source or "<waivers>"
+            if idx in expired_hit:
+                waiver_findings.append(
+                    Finding(
+                        checker="staticcheck",
+                        kind="expired-waiver",
+                        message=(
+                            f"waiver #{idx} (rule={waiver.rule}, "
+                            f"path={waiver.path}) expired {waiver.expires} "
+                            f"but still matches {expired_hit[idx]} finding(s)"
+                        ),
+                        kernel=where,
+                        details={"rule": "waivers", "path": where},
+                    )
+                )
+            elif waiver.hits == 0:
+                waiver_findings.append(
+                    Finding(
+                        checker="staticcheck",
+                        kind="stale-waiver",
+                        message=(
+                            f"waiver #{idx} (rule={waiver.rule}, "
+                            f"path={waiver.path}) matches no finding — "
+                            "delete it or fix its pattern"
+                        ),
+                        kernel=where,
+                        details={"rule": "waivers", "path": where},
+                    )
+                )
+        return unwaived, waived, waiver_findings
+
+
+def inline_waiver(line: str, prev_line: str, rule: str) -> bool:
+    """True when the line (or the one above) carries a matching
+    ``# lint: allow[<rule>]`` marker."""
+    for text in (line, prev_line):
+        for match in _INLINE_RE.finditer(text):
+            if match.group(1) in (rule, "*"):
+                return True
+    return False

@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
-from .findings import Finding
+from .findings import Finding, FindingLog
 
 _MAX_LANES = 8
 
@@ -27,12 +28,12 @@ _MAX_LANES = 8
 class SyncChecker:
     """Barrier and warp-primitive participation checks."""
 
-    def __init__(self, log):
+    def __init__(self, log: FindingLog) -> None:
         self._log = log
 
     def barrier(
         self,
-        active,
+        active: "ArrayLike",
         block_size: Optional[int] = None,
         kernel: Optional[str] = None,
         launch: Optional[int] = None,
@@ -68,8 +69,8 @@ class SyncChecker:
     def warp_primitive(
         self,
         primitive: str,
-        active,
-        masks=None,
+        active: "ArrayLike",
+        masks: Optional["ArrayLike"] = None,
         kernel: Optional[str] = None,
         launch: Optional[int] = None,
     ) -> None:

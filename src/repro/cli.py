@@ -360,6 +360,35 @@ def _add_report(sub: argparse._SubParsersAction) -> None:
                    help="with two manifests, print only the diff table")
 
 
+def _add_lint(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "lint",
+        help="run the AST invariant checker (repro-lint) over src/",
+        description="Static analysis of repo-level contracts: config "
+                    "cache-key classification, determinism, metric-name "
+                    "registry, protocol coverage, float accumulation, span "
+                    "pairing. Exits 3 when unwaived findings remain. See "
+                    "docs/static_analysis.md.",
+    )
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="repository root containing src/repro "
+                        "(default: the root this package was loaded from)")
+    p.add_argument("--rules", default=None, metavar="R1,R2",
+                   help="comma-separated subset of rules to run")
+    p.add_argument("--waivers", default=None, metavar="PATH",
+                   help="waiver file (default: lint-waivers.json at the "
+                        "root when present)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (json is the CI artifact payload)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="also write the report (in --format) to this file")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="write a run manifest carrying the findings "
+                        "(renders via `repro report`)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
+
+
 def _add_stats(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("stats", help="print graph statistics")
     p.add_argument("graph", help="edge-list file")
@@ -396,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stats(sub)
     _add_generate(sub)
     _add_report(sub)
+    _add_lint(sub)
     sub.add_parser("bench", help="run the experiment harness",
                    add_help=False)
     return parser
@@ -602,6 +632,52 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.staticcheck import describe_rules, run_staticcheck
+    from repro.analysis.staticcheck.waivers import WaiverFormatError
+
+    if args.list_rules:
+        for name, doc in describe_rules():
+            print(f"{name:24s} {doc}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        report = run_staticcheck(
+            repo_root=args.root,
+            rules=rules,
+            waiver_file=args.waivers,
+        )
+    except (KeyError, WaiverFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        _json.dumps(report.as_json(), indent=2)
+        if args.format == "json"
+        else report.render_text()
+    )
+    print(rendered)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+    if args.manifest:
+        from repro import obs
+
+        manifest = obs.RunManifest(
+            command="lint",
+            runtime="staticcheck",
+            config={"rules": list(report.rules_run)},
+            staticcheck=report.summary(),
+        )
+        obs.save_manifest(manifest, args.manifest)
+        print(f"wrote lint manifest to {args.manifest}", file=sys.stderr)
+    # mirror the sanitizer convention: findings exit 3, clean exits 0
+    return 0 if report.clean else 3
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.store:
         if args.kind != "rmat":
@@ -647,6 +723,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": cmd_stats,
         "generate": cmd_generate,
         "report": cmd_report,
+        "lint": cmd_lint,
     }[args.command](args)
 
 

@@ -354,90 +354,85 @@ def run_engine(executor: Executor, config: EngineConfig | None = None) -> Engine
     sess = obs.current()
     tr = sess.tracer if sess is not None else NULL_TRACER
     runtime_name = type(executor).__name__
-    run_span = tr.span("engine/run", runtime=runtime_name, n=graph.n)
-    run_span.__enter__()
-    try:
+    with tr.span("engine/run", runtime=runtime_name, n=graph.n):
         for it in range(cfg.max_iterations):
-            iter_span = tr.span("engine/iteration", iteration=it)
-            iter_span.__enter__()
-            active_idx = np.flatnonzero(active)
-            active_edges = int(degrees[active_idx].sum())
-            processed_vertices += len(active_idx)
-            processed_edges += active_edges
+            with tr.span("engine/iteration", iteration=it) as iter_span:
+                active_idx = np.flatnonzero(active)
+                active_edges = int(degrees[active_idx].sum())
+                processed_vertices += len(active_idx)
+                processed_edges += active_edges
 
-            with timers.measure("decide_and_move"), tr.span(
-                "engine/decide", active=len(active_idx), edges=active_edges
-            ):
+                with timers.measure("decide_and_move"), tr.span(
+                    "engine/decide", active=len(active_idx), edges=active_edges
+                ):
+                    if oracle is not None:
+                        next_comm = oracle.decide(executor, active)
+                    elif san_probe is not None:
+                        next_comm = san_probe.decide(executor, active)
+                    else:
+                        next_comm = executor.decide(active_idx, active)
+                moved = next_comm != state.comm
+
+                trace = IterationTrace(
+                    iteration=it,
+                    num_active=len(active_idx),
+                    num_inactive=graph.n - len(active_idx),
+                    num_moved=int(moved.sum()),
+                    modularity=0.0,  # filled below
+                    delta_q=0.0,
+                    predicted=it > 0,
+                    active_edges=active_edges,
+                    moved_edges=int(degrees[moved].sum()),
+                )
                 if oracle is not None:
-                    next_comm = oracle.decide(executor, active)
-                elif san_probe is not None:
-                    next_comm = san_probe.decide(executor, active)
-                else:
-                    next_comm = executor.decide(active_idx, active)
-            moved = next_comm != state.comm
+                    oracle.annotate(trace, state.comm, active)
+                probe = oracle if oracle is not None else san_probe
+                if (
+                    san is not None
+                    and probe is not None
+                    and probe._oracle_next is not None
+                    and getattr(strategy, "zero_false_negatives", False)
+                ):
+                    san.audit_pruning(
+                        active,
+                        probe._oracle_next != state.comm,
+                        iteration=it,
+                        strategy=strategy.name,
+                    )
 
-            trace = IterationTrace(
-                iteration=it,
-                num_active=len(active_idx),
-                num_inactive=graph.n - len(active_idx),
-                num_moved=int(moved.sum()),
-                modularity=0.0,  # filled below
-                delta_q=0.0,
-                predicted=it > 0,
-                active_edges=active_edges,
-                moved_edges=int(degrees[moved].sum()),
-            )
-            if oracle is not None:
-                oracle.annotate(trace, state.comm, active)
-            probe = oracle if oracle is not None else san_probe
-            if (
-                san is not None
-                and probe is not None
-                and probe._oracle_next is not None
-                and getattr(strategy, "zero_false_negatives", False)
-            ):
-                san.audit_pruning(
-                    active,
-                    probe._oracle_next != state.comm,
-                    iteration=it,
-                    strategy=strategy.name,
-                )
+                prev_comm = state.comm
+                with tr.span("engine/apply_sync", moved=trace.num_moved):
+                    next_q = executor.apply_and_sync(next_comm, moved)
+                if san is not None:
+                    san.audit_weights(state, iteration=it)
 
-            prev_comm = state.comm
-            with tr.span("engine/apply_sync", moved=trace.num_moved):
-                next_q = executor.apply_and_sync(next_comm, moved)
-            if san is not None:
-                san.audit_weights(state, iteration=it)
+                trace.modularity = next_q
+                trace.delta_q = next_q - q
+                # collect() is cheap bookkeeping — not worth a span of its own
+                executor.collect(trace)
+                history.append(trace)
+                if sess is not None:
+                    sess.record_iteration(trace, runtime=runtime_name)
 
-            trace.modularity = next_q
-            trace.delta_q = next_q - q
-            # collect() is cheap bookkeeping — not worth a span of its own
-            executor.collect(trace)
-            history.append(trace)
-            if sess is not None:
-                sess.record_iteration(trace, runtime=runtime_name)
+                tracker.update(next_q, state.copy)
 
-            tracker.update(next_q, state.copy)
+                with timers.measure("pruning"), tr.span("engine/prune"):
+                    ctx = IterationContext(
+                        state=state,
+                        prev_comm=prev_comm,
+                        moved=moved,
+                        active=active,
+                        iteration=it,
+                        rng=rng,
+                        remove_self=cfg.remove_self,
+                    )
+                    active = strategy.next_active(ctx)
 
-            with timers.measure("pruning"), tr.span("engine/prune"):
-                ctx = IterationContext(
-                    state=state,
-                    prev_comm=prev_comm,
-                    moved=moved,
-                    active=active,
-                    iteration=it,
-                    rng=rng,
-                    remove_self=cfg.remove_self,
-                )
-                active = strategy.next_active(ctx)
-
-            q = next_q
-            iter_span.tag(moved=trace.num_moved, q=next_q)
-            iter_span.__exit__(None, None, None)
-            if tracker.converged or trace.num_moved == 0:
+                q = next_q
+                iter_span.tag(moved=trace.num_moved, q=next_q)
+                converged = tracker.converged or trace.num_moved == 0
+            if converged:
                 break
-    finally:
-        run_span.__exit__(None, None, None)
 
     q, state = tracker.select(q, state)
     result = EngineResult(

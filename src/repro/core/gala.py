@@ -94,6 +94,28 @@ class GalaConfig:
         {"backend", "kernel", "gpusim_engine", "sanitize", "runtime", "ranks"}
     )
 
+    #: fields that select *what* a run computes — exactly the fields
+    #: serialized by :meth:`cache_key`. Every dataclass field must be
+    #: listed here, in :data:`EXECUTION_FIELDS`, or be ``seed`` (keyed
+    #: separately by the result cache); the ``config-classification``
+    #: lint rule and a runtime guard in :meth:`cache_key` both enforce
+    #: the classification, so a new field cannot silently leak into (or
+    #: stay out of) cache keys without a deliberate decision.
+    SEMANTIC_FIELDS = frozenset(
+        {
+            "pruning",
+            "weight_update",
+            "remove_self",
+            "resolution",
+            "theta",
+            "patience",
+            "round_theta",
+            "max_iterations",
+            "max_rounds",
+            "phase1_only",
+        }
+    )
+
     def cache_key(self) -> str:
         """Canonical serialization of the *semantic* configuration.
 
@@ -109,6 +131,19 @@ class GalaConfig:
 
         Round-trips through :meth:`from_cache_key`.
         """
+        unclassified = {
+            f.name
+            for f in dataclasses.fields(self)
+            if f.name not in self.SEMANTIC_FIELDS
+            and f.name not in self.EXECUTION_FIELDS
+            and f.name != "seed"
+        }
+        if unclassified:
+            raise TypeError(
+                "GalaConfig fields missing a cache-key classification "
+                f"(add to SEMANTIC_FIELDS or EXECUTION_FIELDS): "
+                f"{sorted(unclassified)}"
+            )
         fields = {
             f.name: getattr(self, f.name)
             for f in dataclasses.fields(self)

@@ -10,6 +10,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.utils.arrays import ordered_sum
+
+#: modularity values feed the cross-backend exactness matrix — float
+#: reductions here must keep a pinned order (lint rule float-accumulation)
+__bitexact__ = True
 
 
 def community_internal_weights(
@@ -58,7 +63,7 @@ def modularity(
         return 0.0
     internal = community_internal_weights(graph, communities)
     totals = community_total_strengths(graph, communities, minlength=len(internal))
-    return float((internal / two_m - resolution * (totals / two_m) ** 2).sum())
+    return ordered_sum(internal / two_m - resolution * (totals / two_m) ** 2)
 
 
 def modularity_gain(

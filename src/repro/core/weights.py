@@ -36,6 +36,10 @@ from repro.core.state import CommunityState
 from repro.graph.csr import CSRGraph
 from repro.utils.arrays import repeat_by_counts
 
+#: the delta/recompute equivalence is a bit-exact contract — float
+#: accumulation order here is pinned (lint rule float-accumulation)
+__bitexact__ = True
+
 
 def movement_frontier(
     graph: CSRGraph, moved: np.ndarray, out: Optional[np.ndarray] = None
@@ -91,6 +95,7 @@ def delta_update(
         return frontier
 
     counts = g.degrees[movers]
+    # integer degree count — exact in any order  # lint: allow[float-accumulation]
     if counts.sum() == 0:
         return frontier
     eidx = repeat_by_counts(g.indptr[movers], counts)
@@ -150,6 +155,7 @@ def delta_update_chunked(
 
     degrees = g.degrees
     mover_deg = degrees[movers]
+    # integer degree count — exact in any order  # lint: allow[float-accumulation]
     if mover_deg.sum() == 0:
         return frontier
     for sub in split_by_edges(movers, degrees[movers], chunk_edges, release=release):

@@ -106,6 +106,18 @@ class InvariantViolationError(SanitizerError):
     """
 
 
+class StaticCheckError(SanitizerError):
+    """Static checker: a source-level repo contract does not hold.
+
+    Raised by :mod:`repro.analysis.staticcheck` when ``repro lint`` (or a
+    programmatic run with ``on_finding="raise"`` semantics) finds an
+    unwaived violation — an unclassified config field, an unseeded RNG in
+    a hot-path module, a metric name missing from the registry, a serve
+    op without a handler/client/docs, a bare float accumulation in a
+    bit-exact module, or a span opened outside a ``with`` block.
+    """
+
+
 class PartitionError(ReproError):
     """Raised when a multi-GPU vertex partition is malformed."""
 

@@ -96,6 +96,9 @@ class RunManifest:
     #: sanitizer report when the run was sanitized (mode, per-checker
     #: counts, stored findings); empty dict otherwise
     sanitizer: Dict[str, Any] = field(default_factory=dict)
+    #: static-check (``repro lint``) summary when the manifest came from
+    #: a lint run (total, waived, per-rule counts); empty dict otherwise
+    staticcheck: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

@@ -206,6 +206,19 @@ def render_manifest(manifest: RunManifest) -> str:
             f"sanitizer: mode={san.get('mode')} "
             f"findings={san.get('total', 0)} ({breakdown})",
         ]
+    static = manifest.staticcheck
+    if static:
+        by_rule = static.get("by_rule") or {}
+        breakdown = (
+            " ".join(f"{k}={v}" for k, v in sorted(by_rule.items()))
+            if by_rule
+            else "clean"
+        )
+        lines += [
+            "",
+            f"staticcheck: findings={static.get('total', 0)} "
+            f"waived={static.get('waived', 0)} ({breakdown})",
+        ]
     return "\n".join(lines)
 
 

@@ -22,11 +22,15 @@ Operations
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # annotation-only: protocol must not import the engine
+    from repro.core.gala import GalaConfig
+    from repro.serve.cache import CachedResult
 
 #: per-line size cap for the asyncio stream reader; uploads of
 #: multi-million-edge graphs are JSON arrays on one line
@@ -48,7 +52,7 @@ KNOWN_OPS = ("ping", "upload", "detect", "stats", "graphs", "evict", "metrics")
 class ProtocolError(ValueError):
     """A request the server refuses; carries the error code."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
 
@@ -156,7 +160,7 @@ def graph_to_payload(graph: CSRGraph) -> Dict[str, Any]:
 def parse_detect_config(
     message: Dict[str, Any],
     defaults: Optional[Dict[str, Any]] = None,
-):
+) -> "GalaConfig":
     """Build the :class:`~repro.core.gala.GalaConfig` for one request.
 
     The request's ``config`` object maps straight onto ``GalaConfig``
@@ -204,7 +208,7 @@ def require_fingerprint(message: Dict[str, Any]) -> str:
 
 def detect_response(
     cached: bool,
-    result,
+    result: "CachedResult",
     include_assignment: bool,
     fingerprint: str,
 ) -> Dict[str, Any]:

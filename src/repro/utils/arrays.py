@@ -17,6 +17,23 @@ from __future__ import annotations
 import numpy as np
 
 
+def ordered_sum(values: np.ndarray) -> float:
+    """Sum ``values`` in ascending index order — the sanctioned reduction
+    for modules declaring ``__bitexact__ = True``.
+
+    ``np.add.reduce`` over a 1-D contiguous array applies the operation
+    pairwise in a fixed, platform-independent tree for a given length and
+    dtype, so the result is reproducible across runs and backends — which
+    a bare ``np.sum``/``.sum()`` also happens to give today, but without
+    documenting the intent. Routing bit-exact reductions through this
+    helper makes the summation-order dependency explicit and gives the
+    ``float-accumulation`` lint rule a single sanctioned call site to
+    recognise; if a future optimisation ever needs a different reduction
+    order, this is the one place to compensate.
+    """
+    return float(np.add.reduce(np.ascontiguousarray(values)))
+
+
 def _check_offsets(values: np.ndarray, offsets: np.ndarray) -> None:
     if offsets.ndim != 1 or offsets.size == 0:
         raise ValueError("offsets must be a 1-D array with at least one entry")
